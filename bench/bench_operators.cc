@@ -1,0 +1,131 @@
+// Experiment E9: throughput of the five snapshot-algebra operators (and
+// the derived joins) as state cardinality grows. Establishes the baseline
+// costs every other experiment builds on.
+
+#include <benchmark/benchmark.h>
+
+#include "snapshot/aggregate.h"
+#include "snapshot/operators.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+namespace ops = snapshot_ops;
+
+constexpr uint64_t kSeed = 42;
+
+SnapshotState MakeState(size_t n, uint64_t salt) {
+  workload::Generator gen(kSeed + salt);
+  return gen.RandomState(
+      *Schema::Make({{"id", ValueType::kInt},
+                     {"name", ValueType::kString},
+                     {"score", ValueType::kDouble}}),
+      n);
+}
+
+void BM_Union(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SnapshotState a = MakeState(n, 1);
+  SnapshotState b = MakeState(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Union(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_Union)->Range(64, 65536);
+
+void BM_Difference(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SnapshotState a = MakeState(n, 1);
+  SnapshotState b = MakeState(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Difference(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_Difference)->Range(64, 65536);
+
+void BM_Select(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SnapshotState a = MakeState(n, 1);
+  Predicate p = Predicate::AttrCompare("id", CompareOp::kLt, Value::Int(50));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Select(a, p));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Select)->Range(64, 65536);
+
+void BM_Project(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SnapshotState a = MakeState(n, 1);
+  const std::vector<std::string> attrs = {"name"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Project(a, attrs));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Project)->Range(64, 65536);
+
+void BM_Product(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  workload::Generator gen(kSeed);
+  SnapshotState a = gen.RandomState(
+      *Schema::Make({{"x", ValueType::kInt}}), n);
+  SnapshotState b = gen.RandomState(
+      *Schema::Make({{"y", ValueType::kInt}}), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Product(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Product)->Range(8, 512);
+
+void BM_NaturalJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  workload::Generator gen(kSeed);
+  SnapshotState a = gen.RandomState(
+      *Schema::Make({{"k", ValueType::kInt}, {"x", ValueType::kInt}}), n);
+  SnapshotState b = gen.RandomState(
+      *Schema::Make({{"k", ValueType::kInt}, {"y", ValueType::kInt}}), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::NaturalJoin(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_NaturalJoin)->Range(8, 512);
+
+void BM_Aggregate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  workload::Generator gen(kSeed);
+  SnapshotState a = gen.RandomState(
+      *Schema::Make({{"dept", ValueType::kString},
+                     {"salary", ValueType::kInt}}),
+      n);
+  const std::vector<AggregateDef> defs = {
+      {"cnt", AggFunc::kCount, ""},
+      {"total", AggFunc::kSum, "salary"},
+      {"hi", AggFunc::kMax, "salary"},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Aggregate(a, {"dept"}, defs));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Aggregate)->Range(64, 65536);
+
+void BM_PredicateDepth(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  SnapshotState a = MakeState(4096, 1);
+  workload::Generator gen(kSeed);
+  Predicate p = gen.RandomPredicate(a.schema(), depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Select(a, p));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PredicateDepth)->DenseRange(0, 6, 2);
+
+}  // namespace
+}  // namespace ttra

@@ -1,0 +1,120 @@
+// Experiment E5: the Quel front-end. Measures parse+compile cost of the
+// calculus → algebra mapping, end-to-end update throughput through Quel
+// vs. hand-written algebra, and confirms the mapping's overhead is a
+// constant per statement (the paper's benefit #1 is free in practice).
+
+#include <benchmark/benchmark.h>
+
+#include "lang/evaluator.h"
+#include "lang/parser.h"
+#include "quel/quel.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+Database FreshDb(size_t rows) {
+  workload::Generator gen(53);
+  Database db;
+  const Schema schema = *Schema::Make({{"name", ValueType::kString},
+                                       {"salary", ValueType::kInt}});
+  (void)db.DefineRelation("emp", RelationType::kRollback, schema);
+  (void)db.ModifyState("emp", gen.RandomState(schema, rows));
+  return db;
+}
+
+void BM_QuelParse(benchmark::State& state) {
+  const char* source =
+      R"(replace emp set salary = salary + 500 where name = "ed")";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quel::ParseQuel(source));
+  }
+}
+BENCHMARK(BM_QuelParse);
+
+void BM_QuelCompile(benchmark::State& state) {
+  Database db = FreshDb(100);
+  lang::Catalog catalog(db);
+  auto stmt = quel::ParseQuel(
+      R"(replace emp set salary = salary + 500 where name = "ed")");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quel::CompileQuel(*stmt, catalog));
+  }
+}
+BENCHMARK(BM_QuelCompile);
+
+// End-to-end: one Quel replace per iteration (parse + compile + execute),
+// state size sweep.
+void BM_QuelReplaceEndToEnd(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Database db = FreshDb(rows);
+  lang::Catalog catalog(db);
+  const char* source =
+      R"(replace emp set salary = salary + 1 where salary < 50)";
+  for (auto _ : state) {
+    if (db.Find("emp")->history_length() >= 512) {
+      state.PauseTiming();
+      db = FreshDb(rows);
+      state.ResumeTiming();
+    }
+    auto stmt = quel::ParseQuel(source);
+    auto compiled = quel::CompileQuel(*stmt, catalog);
+    Status status = lang::ExecStmt(*compiled, db);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuelReplaceEndToEnd)->Range(16, 4096);
+
+// The same update written directly in the algebra (pre-parsed): the
+// difference against BM_QuelReplaceEndToEnd is the front-end's overhead.
+void BM_DirectAlgebraReplace(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Database db = FreshDb(rows);
+  auto expr = lang::ParseExpr(
+      "select[not (salary < 50)](rho(emp, inf)) union "
+      "extend[salary = salary + 1](select[salary < 50](rho(emp, inf)))");
+  lang::Stmt stmt = lang::ModifyStateStmt{"emp", *expr};
+  for (auto _ : state) {
+    if (db.Find("emp")->history_length() >= 512) {
+      state.PauseTiming();
+      db = FreshDb(rows);
+      state.ResumeTiming();
+    }
+    Status status = lang::ExecStmt(stmt, db);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectAlgebraReplace)->Range(16, 4096);
+
+// Statement-mix throughput: append/replace/delete/retrieve round-robin.
+void BM_QuelMixedWorkload(benchmark::State& state) {
+  Database db = FreshDb(256);
+  const char* sources[] = {
+      R"(append to emp (name = "new", salary = 10))",
+      R"(replace emp set salary = salary + 1 where salary < 30)",
+      R"(retrieve emp (name) where salary > 90)",
+      R"(delete emp where name = "new")",
+  };
+  size_t next = 0;
+  std::vector<lang::StateValue> outputs;
+  for (auto _ : state) {
+    if (db.Find("emp")->history_length() >= 512) {
+      state.PauseTiming();
+      db = FreshDb(256);
+      state.ResumeTiming();
+    }
+    auto stmt = quel::ParseQuel(sources[next]);
+    auto compiled = quel::CompileQuel(*stmt, lang::Catalog(db));
+    outputs.clear();
+    Status status = lang::ExecStmt(*compiled, db, &outputs);
+    benchmark::DoNotOptimize(status);
+    next = (next + 1) % 4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuelMixedWorkload);
+
+}  // namespace
+}  // namespace ttra

@@ -1,0 +1,104 @@
+// Experiment E2: cost of the rollback operator ρ(R, N) as history length
+// grows, for each storage engine and for three probe positions (oldest
+// state, middle, current). The paper's direct semantics (full-copy) gives
+// O(log h) lookups; delta pays O(h) replay; checkpointed delta bounds the
+// replay by the checkpoint interval.
+
+#include <benchmark/benchmark.h>
+
+#include "rollback/database.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+constexpr size_t kStateSize = 256;
+constexpr double kChurn = 0.1;
+
+Database BuildDatabase(StorageKind kind, size_t history,
+                       size_t checkpoint_interval) {
+  workload::Generator gen(7);
+  Database db(DatabaseOptions{kind, checkpoint_interval});
+  const Schema schema = *Schema::Make({{"id", ValueType::kInt},
+                                       {"payload", ValueType::kString}});
+  (void)db.DefineRelation("r", RelationType::kRollback, schema);
+  SnapshotState state = gen.RandomState(schema, kStateSize);
+  for (size_t i = 0; i < history; ++i) {
+    (void)db.ModifyState("r", state);
+    state = gen.MutateState(state, kChurn);
+  }
+  return db;
+}
+
+enum Probe { kOldest = 0, kMiddle = 1, kCurrent = 2 };
+
+void RunRollback(benchmark::State& state, StorageKind kind) {
+  const size_t history = static_cast<size_t>(state.range(0));
+  const Probe probe = static_cast<Probe>(state.range(1));
+  Database db = BuildDatabase(kind, history, 16);
+  const TransactionNumber target =
+      probe == kOldest ? 2
+      : probe == kMiddle ? 1 + history / 2
+                         : db.transaction_number();
+  for (auto _ : state) {
+    auto result = db.Rollback("r", target);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["history"] = static_cast<double>(history);
+  state.counters["bytes"] = static_cast<double>(db.ApproxBytes());
+}
+
+void BM_RollbackFullCopy(benchmark::State& state) {
+  RunRollback(state, StorageKind::kFullCopy);
+}
+void BM_RollbackDelta(benchmark::State& state) {
+  RunRollback(state, StorageKind::kDelta);
+}
+void BM_RollbackCheckpoint(benchmark::State& state) {
+  RunRollback(state, StorageKind::kCheckpoint);
+}
+void BM_RollbackReverseDelta(benchmark::State& state) {
+  RunRollback(state, StorageKind::kReverseDelta);
+}
+
+void RollbackArgs(benchmark::internal::Benchmark* bench) {
+  for (int history : {16, 64, 256, 1024}) {
+    for (int probe : {kOldest, kMiddle, kCurrent}) {
+      bench->Args({history, probe});
+    }
+  }
+}
+
+BENCHMARK(BM_RollbackFullCopy)->Apply(RollbackArgs);
+BENCHMARK(BM_RollbackDelta)->Apply(RollbackArgs);
+BENCHMARK(BM_RollbackCheckpoint)->Apply(RollbackArgs);
+BENCHMARK(BM_RollbackReverseDelta)->Apply(RollbackArgs);
+
+// ρ(R, ∞) — the common case: always the tail, cheap for every engine.
+void BM_RollbackCurrentInf(benchmark::State& state) {
+  const StorageKind kind = static_cast<StorageKind>(state.range(0));
+  Database db = BuildDatabase(kind, 256, 16);
+  for (auto _ : state) {
+    auto result = db.Rollback("r");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::string(StorageKindName(kind)));
+}
+BENCHMARK(BM_RollbackCurrentInf)->DenseRange(0, 3);
+
+// Checkpoint-interval sweep at fixed history: the E2/E3 tradeoff dial.
+void BM_RollbackCheckpointInterval(benchmark::State& state) {
+  const size_t interval = static_cast<size_t>(state.range(0));
+  Database db = BuildDatabase(StorageKind::kCheckpoint, 512, interval);
+  const TransactionNumber middle = 1 + 256;
+  for (auto _ : state) {
+    auto result = db.Rollback("r", middle);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["interval"] = static_cast<double>(interval);
+  state.counters["bytes"] = static_cast<double>(db.ApproxBytes());
+}
+BENCHMARK(BM_RollbackCheckpointInterval)->RangeMultiplier(4)->Range(1, 256);
+
+}  // namespace
+}  // namespace ttra

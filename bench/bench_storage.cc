@@ -1,0 +1,141 @@
+// Experiment E3: the storage/retrieval tradeoff the paper explicitly
+// leaves to "more efficient implementations" (§2). Measures, per engine:
+//   * bytes per recorded transaction as the update ratio varies, and
+//   * FINDSTATE latency at a random past transaction.
+// Full-copy is the paper's direct semantics; delta and checkpointed delta
+// are the optimized realizations proven equivalent by the test suite.
+
+#include <benchmark/benchmark.h>
+
+#include "storage/serialize.h"
+#include "storage/state_log.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+constexpr size_t kHistory = 200;
+constexpr size_t kStateSize = 500;
+
+std::unique_ptr<StateLog<SnapshotState>> BuildLog(StorageKind kind,
+                                                  double churn,
+                                                  size_t interval) {
+  workload::Generator gen(11);
+  auto log = MakeStateLog<SnapshotState>(kind, interval);
+  const Schema schema = *Schema::Make({{"id", ValueType::kInt},
+                                       {"payload", ValueType::kString}});
+  SnapshotState state = gen.RandomState(schema, kStateSize);
+  for (size_t i = 0; i < kHistory; ++i) {
+    (void)log->Append(state, i + 1);
+    state = gen.MutateState(state, churn);
+  }
+  return log;
+}
+
+// churn is permille (range args must be integers).
+void RunSpace(benchmark::State& state, StorageKind kind) {
+  const double churn = static_cast<double>(state.range(0)) / 1000.0;
+  auto log = BuildLog(kind, churn, 16);
+  // Space is a property of the built log, not of an inner loop; the timed
+  // region measures a full FINDSTATE at the middle as the retrieval cost
+  // that buys that space.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log->StateAt(kHistory / 2));
+  }
+  state.counters["bytes_per_txn"] =
+      static_cast<double>(log->ApproxBytes()) / kHistory;
+  state.counters["churn_permille"] = static_cast<double>(state.range(0));
+}
+
+void BM_SpaceFullCopy(benchmark::State& state) {
+  RunSpace(state, StorageKind::kFullCopy);
+}
+void BM_SpaceDelta(benchmark::State& state) {
+  RunSpace(state, StorageKind::kDelta);
+}
+void BM_SpaceCheckpoint(benchmark::State& state) {
+  RunSpace(state, StorageKind::kCheckpoint);
+}
+void BM_SpaceReverseDelta(benchmark::State& state) {
+  RunSpace(state, StorageKind::kReverseDelta);
+}
+
+BENCHMARK(BM_SpaceFullCopy)->Arg(10)->Arg(50)->Arg(200)->Arg(500);
+BENCHMARK(BM_SpaceDelta)->Arg(10)->Arg(50)->Arg(200)->Arg(500);
+BENCHMARK(BM_SpaceCheckpoint)->Arg(10)->Arg(50)->Arg(200)->Arg(500);
+BENCHMARK(BM_SpaceReverseDelta)->Arg(10)->Arg(50)->Arg(200)->Arg(500);
+
+// Checkpoint-interval sweep: interval 1 ≈ full-copy space, interval ∞ ≈
+// delta space; retrieval cost moves the other way.
+void BM_CheckpointIntervalSpace(benchmark::State& state) {
+  const size_t interval = static_cast<size_t>(state.range(0));
+  auto log = BuildLog(StorageKind::kCheckpoint, 0.05, interval);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log->StateAt(kHistory / 2));
+  }
+  state.counters["bytes_per_txn"] =
+      static_cast<double>(log->ApproxBytes()) / kHistory;
+  state.counters["interval"] = static_cast<double>(interval);
+}
+BENCHMARK(BM_CheckpointIntervalSpace)->RangeMultiplier(2)->Range(1, 128);
+
+// Append cost: what each engine pays at modify_state time.
+void RunAppend(benchmark::State& state, StorageKind kind) {
+  workload::Generator gen(13);
+  const Schema schema = *Schema::Make({{"id", ValueType::kInt},
+                                       {"payload", ValueType::kString}});
+  SnapshotState base = gen.RandomState(schema, kStateSize);
+  // Pre-generate mutated states so generation cost stays out of the loop.
+  std::vector<SnapshotState> states;
+  states.reserve(64);
+  SnapshotState current = base;
+  for (int i = 0; i < 64; ++i) {
+    states.push_back(current);
+    current = gen.MutateState(current, 0.1);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto log = MakeStateLog<SnapshotState>(kind, 16);
+    state.ResumeTiming();
+    for (size_t i = 0; i < states.size(); ++i) {
+      (void)log->Append(states[i], i + 1);
+    }
+    benchmark::DoNotOptimize(log);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+
+void BM_AppendFullCopy(benchmark::State& state) {
+  RunAppend(state, StorageKind::kFullCopy);
+}
+void BM_AppendDelta(benchmark::State& state) {
+  RunAppend(state, StorageKind::kDelta);
+}
+void BM_AppendCheckpoint(benchmark::State& state) {
+  RunAppend(state, StorageKind::kCheckpoint);
+}
+void BM_AppendReverseDelta(benchmark::State& state) {
+  RunAppend(state, StorageKind::kReverseDelta);
+}
+BENCHMARK(BM_AppendFullCopy);
+BENCHMARK(BM_AppendDelta);
+BENCHMARK(BM_AppendCheckpoint);
+BENCHMARK(BM_AppendReverseDelta);
+
+// Serialization throughput with checksum verification.
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  auto log = BuildLog(StorageKind::kFullCopy, 0.1, 16);
+  auto sequence = MaterializeSequence(*log);
+  sequence.resize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string encoded = EncodeStateSequence(sequence);
+    auto decoded = DecodeStateSequence<SnapshotState>(encoded);
+    benchmark::DoNotOptimize(decoded);
+    state.counters["encoded_bytes"] = static_cast<double>(encoded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeRoundTrip)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace ttra

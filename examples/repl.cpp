@@ -1,0 +1,89 @@
+// Interactive REPL for the transaction-time algebraic language.
+//
+//   $ ./repl
+//   ttra> define_relation(emp, rollback, (name: string, salary: int));
+//   ttra> modify_state(emp, (name: string, salary: int) {("ed", 100)});
+//   ttra> show(rho(emp, inf));
+//
+// Meta-commands: \d (describe database), \quel <stmt> (run one Quel
+// statement), \lax (toggle paper-faithful non-strict error handling),
+// \q (quit). Plain input is parsed as language statements; a trailing
+// ';' is optional for single statements.
+
+#include <iostream>
+#include <string>
+
+#include "lang/analyzer.h"
+#include "lang/evaluator.h"
+#include "lang/printer.h"
+#include "quel/quel.h"
+
+namespace {
+
+void ShowOutputs(const std::vector<ttra::lang::StateValue>& outputs) {
+  for (const auto& value : outputs) {
+    std::cout << ttra::lang::FormatTable(value);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ttra;
+
+  Database db;
+  lang::ExecOptions options;
+  std::cout << "transaction-time relational algebra — type \\q to quit\n";
+
+  std::string line;
+  while (true) {
+    std::cout << "ttra> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+
+    if (line == "\\q" || line == "\\quit") break;
+    if (line == "\\d") {
+      std::cout << lang::DescribeDatabase(db);
+      continue;
+    }
+    if (line == "\\lax") {
+      options.strict = !options.strict;
+      std::cout << (options.strict
+                        ? "strict mode: errors abort the statement\n"
+                        : "lax mode: failing commands are no-ops (paper's "
+                          "else-branches)\n");
+      continue;
+    }
+    if (line.rfind("\\quel ", 0) == 0) {
+      auto stmt = quel::ParseQuel(line.substr(6));
+      if (!stmt.ok()) {
+        std::cout << stmt.status() << "\n";
+        continue;
+      }
+      auto compiled = quel::CompileQuel(*stmt, lang::Catalog(db));
+      if (!compiled.ok()) {
+        std::cout << compiled.status() << "\n";
+        continue;
+      }
+      std::cout << "→ " << lang::StmtToString(*compiled) << "\n";
+      std::vector<lang::StateValue> outputs;
+      Status status = lang::ExecStmt(*compiled, db, &outputs, options);
+      if (!status.ok()) {
+        std::cout << status << "\n";
+        continue;
+      }
+      ShowOutputs(outputs);
+      continue;
+    }
+
+    std::vector<lang::StateValue> outputs;
+    Status status = lang::Run(line, db, &outputs, options);
+    if (!status.ok()) {
+      std::cout << status << "\n";
+      continue;
+    }
+    ShowOutputs(outputs);
+    std::cout << "ok (transaction " << db.transaction_number() << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "benzvi/trm.h"
+
+#include <map>
+#include <set>
+
+namespace ttra::benzvi {
+
+Status TrmRelation::ApplyVersion(const HistoricalState& state,
+                                 TransactionNumber txn) {
+  if (state.schema() != schema_) {
+    return SchemaMismatchError("TRM version schema " +
+                               state.schema().ToString() +
+                               " does not match relation schema " +
+                               schema_.ToString());
+  }
+  if (has_version_ && txn <= last_txn_) {
+    return InvalidArgumentError("TRM versions must have increasing txns");
+  }
+  // Flatten the new state into (tuple, interval) facts.
+  std::set<std::pair<Tuple, Interval>> new_facts;
+  for (const HistoricalTuple& ht : state.tuples()) {
+    for (const Interval& interval : ht.valid.intervals()) {
+      new_facts.emplace(ht.tuple, interval);
+    }
+  }
+  // Close open rows whose fact disappeared; keep the ones that survive.
+  for (TrmTuple& row : tuples_) {
+    if (row.trans_end != kOpenTransaction) continue;
+    auto it = new_facts.find({row.values, row.valid});
+    if (it != new_facts.end()) {
+      new_facts.erase(it);  // fact unchanged: row stays open
+    } else {
+      row.trans_end = txn;  // fact superseded at this transaction
+    }
+  }
+  // Open rows for brand-new facts.
+  for (const auto& [tuple, interval] : new_facts) {
+    tuples_.push_back(TrmTuple{tuple, interval, txn, kOpenTransaction});
+  }
+  last_txn_ = txn;
+  has_version_ = true;
+  return Status::Ok();
+}
+
+Result<SnapshotState> TrmRelation::TimeView(Chronon tv,
+                                            TransactionNumber tt) const {
+  std::vector<Tuple> current;
+  for (const TrmTuple& row : tuples_) {
+    const bool trans_ok = row.trans_begin <= tt && tt < row.trans_end;
+    if (trans_ok && row.valid.Contains(tv)) current.push_back(row.values);
+  }
+  return SnapshotState::Make(schema_, std::move(current));
+}
+
+Result<HistoricalState> TrmRelation::HistoricalAsOf(
+    TransactionNumber tt) const {
+  std::vector<HistoricalTuple> tuples;
+  for (const TrmTuple& row : tuples_) {
+    if (row.trans_begin <= tt && tt < row.trans_end) {
+      tuples.push_back(
+          HistoricalTuple{row.values, TemporalElement::Of({row.valid})});
+    }
+  }
+  return HistoricalState::Make(schema_, std::move(tuples));
+}
+
+size_t TrmRelation::ApproxBytes() const {
+  size_t total = 64;
+  for (const TrmTuple& row : tuples_) {
+    total += ApproxSize(row.values) + sizeof(Interval) +
+             2 * sizeof(TransactionNumber);
+  }
+  return total;
+}
+
+Result<TrmRelation> TrmRelation::FromTemporal(const Relation& relation) {
+  if (relation.type() != RelationType::kTemporal) {
+    return TypeMismatchError(
+        "TRM conversion requires a temporal relation; got " +
+        std::string(RelationTypeName(relation.type())));
+  }
+  TrmRelation trm(relation.schema());
+  for (size_t i = 0; i < relation.history_length(); ++i) {
+    const TransactionNumber txn = relation.TxnAt(i);
+    TTRA_ASSIGN_OR_RETURN(HistoricalState state, relation.HistoricalAt(txn));
+    TTRA_RETURN_IF_ERROR(trm.ApplyVersion(state, txn));
+  }
+  return trm;
+}
+
+}  // namespace ttra::benzvi

@@ -1,0 +1,80 @@
+#ifndef TTRA_BENZVI_TRM_H_
+#define TTRA_BENZVI_TRM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "historical/hstate.h"
+#include "rollback/relation.h"
+#include "storage/state_log.h"
+
+namespace ttra::benzvi {
+
+/// Ben-Zvi's Time Relational Model (TRM), the one prior algebra supporting
+/// both valid and transaction time (paper §5). Each tuple carries implicit
+/// time attributes: a valid interval [valid_begin, valid_end) and a
+/// transaction interval [trans_begin, trans_end); trans_end is open
+/// (kOpenTransaction) while the fact is current in the database.
+///
+/// The paper contrasts its ρ̂ (which composes with any historical algebra)
+/// with TRM's Time-View operator, which is tied to this interval-stamped
+/// representation. The equivalence suite (experiment E8) checks
+///
+///   TimeView(R, tv, tt) = (ρ̂(R, tt)) sliced at valid time tv
+///
+/// and the benchmark compares the two query paths.
+
+inline constexpr TransactionNumber kOpenTransaction = UINT64_MAX;
+
+struct TrmTuple {
+  Tuple values;
+  Interval valid;                        // valid-time interval
+  TransactionNumber trans_begin = 0;     // recorded at this transaction
+  TransactionNumber trans_end = kOpenTransaction;  // superseded at (open if
+                                                   // still current)
+
+  friend bool operator==(const TrmTuple&, const TrmTuple&) = default;
+};
+
+/// An append-only TRM relation: rows are never removed, only closed by
+/// setting trans_end.
+class TrmRelation {
+ public:
+  explicit TrmRelation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<TrmTuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  /// Records that, as of transaction `txn`, the relation's historical
+  /// state is `state`: facts absent from `state` are closed, new facts are
+  /// opened. `txn` must exceed every previously applied transaction.
+  /// Equivalent to one modify_state on a temporal relation.
+  Status ApplyVersion(const HistoricalState& state, TransactionNumber txn);
+
+  /// Ben-Zvi's Time-View: the tuples valid at `tv` as recorded at
+  /// transaction `tt` — a plain snapshot state.
+  Result<SnapshotState> TimeView(Chronon tv, TransactionNumber tt) const;
+
+  /// The full historical state as recorded at transaction `tt`
+  /// (reconstructs what ρ̂(R, tt) returns); used by the equivalence tests.
+  Result<HistoricalState> HistoricalAsOf(TransactionNumber tt) const;
+
+  /// Storage footprint for the comparison benchmark.
+  size_t ApproxBytes() const;
+
+  /// Builds a TRM relation from a temporal relation by replaying its state
+  /// sequence.
+  static Result<TrmRelation> FromTemporal(const Relation& relation);
+
+ private:
+  Schema schema_;
+  std::vector<TrmTuple> tuples_;
+  TransactionNumber last_txn_ = 0;
+  bool has_version_ = false;
+};
+
+}  // namespace ttra::benzvi
+
+#endif  // TTRA_BENZVI_TRM_H_

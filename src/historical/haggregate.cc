@@ -1,0 +1,54 @@
+#include "historical/haggregate.h"
+
+#include <algorithm>
+
+namespace ttra::historical_ops {
+
+Result<HistoricalState> Aggregate(
+    const HistoricalState& state,
+    const std::vector<std::string>& group_attrs,
+    const std::vector<AggregateDef>& aggregates) {
+  TTRA_ASSIGN_OR_RETURN(
+      Schema schema,
+      AggregateSchema(state.schema(), group_attrs, aggregates));
+  if (state.empty()) return HistoricalState::Empty(std::move(schema));
+
+  // Collect all element boundaries: within [boundary_i, boundary_{i+1})
+  // the valid tuple set is constant.
+  std::vector<Chronon> boundaries;
+  for (const HistoricalTuple& ht : state.tuples()) {
+    for (const Interval& interval : ht.valid.intervals()) {
+      boundaries.push_back(interval.begin);
+      boundaries.push_back(interval.end);
+    }
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  std::vector<HistoricalTuple> result;
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const Chronon begin = boundaries[i];
+    const Chronon end = boundaries[i + 1];
+    // Tuples valid throughout this slab (constant by construction).
+    std::vector<Tuple> slab_tuples;
+    for (const HistoricalTuple& ht : state.tuples()) {
+      if (ht.valid.Contains(begin)) slab_tuples.push_back(ht.tuple);
+    }
+    if (slab_tuples.empty()) continue;
+    TTRA_ASSIGN_OR_RETURN(
+        SnapshotState slab,
+        SnapshotState::Make(state.schema(), std::move(slab_tuples)));
+    TTRA_ASSIGN_OR_RETURN(SnapshotState aggregated,
+                          ttra::Aggregate(slab, group_attrs, aggregates));
+    const TemporalElement element = TemporalElement::Span(begin, end);
+    for (const Tuple& tuple : aggregated.tuples()) {
+      result.push_back(HistoricalTuple{tuple, element});
+    }
+  }
+  // HistoricalState::Make merges value-equal tuples across adjacent slabs
+  // into coalesced temporal elements.
+  return HistoricalState::Make(std::move(schema), std::move(result));
+}
+
+}  // namespace ttra::historical_ops

@@ -1,0 +1,30 @@
+#ifndef TTRA_HISTORICAL_HAGGREGATE_H_
+#define TTRA_HISTORICAL_HAGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "historical/hstate.h"
+#include "snapshot/aggregate.h"
+
+namespace ttra::historical_ops {
+
+/// Temporal (snapshot-reducible) aggregation over an historical state:
+/// for every chronon t, the result's timeslice equals the snapshot
+/// aggregate of the input's timeslice —
+///
+///   Aggregate(H, G, A).SnapshotAt(t) == Aggregate(H.SnapshotAt(t), G, A)
+///
+/// Implemented by interval partitioning: the valid-time axis is split at
+/// every boundary chronon of the input's temporal elements; within each
+/// elementary slab the set of valid tuples is constant, so one snapshot
+/// aggregation per slab suffices, and value-equal result tuples across
+/// adjacent slabs coalesce through HistoricalState's canonical form. Cost
+/// is O(#slabs × slab aggregation); #slabs ≤ 2 × Σ intervals.
+Result<HistoricalState> Aggregate(const HistoricalState& state,
+                                  const std::vector<std::string>& group_attrs,
+                                  const std::vector<AggregateDef>& aggregates);
+
+}  // namespace ttra::historical_ops
+
+#endif  // TTRA_HISTORICAL_HAGGREGATE_H_

@@ -1,0 +1,178 @@
+#include "historical/hoperators.h"
+
+#include <algorithm>
+
+namespace ttra::historical_ops {
+
+namespace {
+
+Status RequireUnionCompatible(const HistoricalState& lhs,
+                              const HistoricalState& rhs,
+                              std::string_view op_name) {
+  if (lhs.schema() != rhs.schema()) {
+    return SchemaMismatchError(std::string(op_name) +
+                               " requires identical schemas; got " +
+                               lhs.schema().ToString() + " vs " +
+                               rhs.schema().ToString());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<HistoricalState> Union(const HistoricalState& lhs,
+                              const HistoricalState& rhs) {
+  TTRA_RETURN_IF_ERROR(RequireUnionCompatible(lhs, rhs, "hunion"));
+  std::vector<HistoricalTuple> merged = lhs.tuples();
+  merged.insert(merged.end(), rhs.tuples().begin(), rhs.tuples().end());
+  return HistoricalState::Make(lhs.schema(), std::move(merged));
+}
+
+Result<HistoricalState> Difference(const HistoricalState& lhs,
+                                   const HistoricalState& rhs) {
+  TTRA_RETURN_IF_ERROR(RequireUnionCompatible(lhs, rhs, "hdiff"));
+  std::vector<HistoricalTuple> remaining;
+  for (const HistoricalTuple& ht : lhs.tuples()) {
+    TemporalElement survived =
+        ht.valid.Difference(rhs.ValidTimeOf(ht.tuple));
+    if (!survived.empty()) {
+      remaining.push_back(HistoricalTuple{ht.tuple, std::move(survived)});
+    }
+  }
+  return HistoricalState::Make(lhs.schema(), std::move(remaining));
+}
+
+Result<HistoricalState> Product(const HistoricalState& lhs,
+                                const HistoricalState& rhs) {
+  TTRA_ASSIGN_OR_RETURN(Schema schema, lhs.schema().Concat(rhs.schema()));
+  std::vector<HistoricalTuple> combined;
+  for (const HistoricalTuple& a : lhs.tuples()) {
+    for (const HistoricalTuple& b : rhs.tuples()) {
+      TemporalElement both = a.valid.Intersect(b.valid);
+      if (both.empty()) continue;
+      std::vector<Value> values = a.tuple.values();
+      values.insert(values.end(), b.tuple.values().begin(),
+                    b.tuple.values().end());
+      combined.push_back(
+          HistoricalTuple{Tuple(std::move(values)), std::move(both)});
+    }
+  }
+  return HistoricalState::Make(std::move(schema), std::move(combined));
+}
+
+Result<HistoricalState> Project(const HistoricalState& state,
+                                const std::vector<std::string>& attributes) {
+  TTRA_ASSIGN_OR_RETURN(Schema schema, state.schema().Project(attributes));
+  std::vector<size_t> indices;
+  indices.reserve(attributes.size());
+  for (const std::string& name : attributes) {
+    indices.push_back(*state.schema().IndexOf(name));
+  }
+  std::vector<HistoricalTuple> projected;
+  projected.reserve(state.size());
+  for (const HistoricalTuple& ht : state.tuples()) {
+    std::vector<Value> values;
+    values.reserve(indices.size());
+    for (size_t i : indices) values.push_back(ht.tuple.at(i));
+    projected.push_back(HistoricalTuple{Tuple(std::move(values)), ht.valid});
+  }
+  return HistoricalState::Make(std::move(schema), std::move(projected));
+}
+
+Result<HistoricalState> Select(const HistoricalState& state,
+                               const Predicate& predicate) {
+  TTRA_RETURN_IF_ERROR(predicate.Validate(state.schema()));
+  std::vector<HistoricalTuple> selected;
+  for (const HistoricalTuple& ht : state.tuples()) {
+    TTRA_ASSIGN_OR_RETURN(bool keep, predicate.Eval(state.schema(), ht.tuple));
+    if (keep) selected.push_back(ht);
+  }
+  return HistoricalState::Make(state.schema(), std::move(selected));
+}
+
+Result<HistoricalState> Delta(const HistoricalState& state,
+                              const TemporalPred& pred,
+                              const TemporalExpr& projection) {
+  std::vector<HistoricalTuple> result;
+  for (const HistoricalTuple& ht : state.tuples()) {
+    if (!pred.Eval(ht.valid)) continue;
+    TemporalElement projected = projection.Eval(ht.valid);
+    if (projected.empty()) continue;
+    result.push_back(HistoricalTuple{ht.tuple, std::move(projected)});
+  }
+  return HistoricalState::Make(state.schema(), std::move(result));
+}
+
+Result<HistoricalState> Intersect(const HistoricalState& lhs,
+                                  const HistoricalState& rhs) {
+  TTRA_RETURN_IF_ERROR(RequireUnionCompatible(lhs, rhs, "hintersect"));
+  std::vector<HistoricalTuple> shared;
+  for (const HistoricalTuple& ht : lhs.tuples()) {
+    TemporalElement both = ht.valid.Intersect(rhs.ValidTimeOf(ht.tuple));
+    if (!both.empty()) {
+      shared.push_back(HistoricalTuple{ht.tuple, std::move(both)});
+    }
+  }
+  return HistoricalState::Make(lhs.schema(), std::move(shared));
+}
+
+Result<HistoricalState> NaturalJoin(const HistoricalState& lhs,
+                                    const HistoricalState& rhs) {
+  std::vector<std::pair<size_t, size_t>> shared;
+  std::vector<size_t> rhs_only;
+  for (size_t j = 0; j < rhs.schema().size(); ++j) {
+    const Attribute& attr = rhs.schema().attribute(j);
+    auto i = lhs.schema().IndexOf(attr.name);
+    if (i.has_value()) {
+      if (lhs.schema().attribute(*i).type != attr.type) {
+        return SchemaMismatchError("natural join attribute '" + attr.name +
+                                   "' has mismatched types");
+      }
+      shared.emplace_back(*i, j);
+    } else {
+      rhs_only.push_back(j);
+    }
+  }
+  std::vector<Attribute> result_attrs = lhs.schema().attributes();
+  for (size_t j : rhs_only) result_attrs.push_back(rhs.schema().attribute(j));
+  TTRA_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(result_attrs)));
+
+  std::vector<HistoricalTuple> joined;
+  for (const HistoricalTuple& a : lhs.tuples()) {
+    for (const HistoricalTuple& b : rhs.tuples()) {
+      bool match = true;
+      for (const auto& [i, j] : shared) {
+        if (!(a.tuple.at(i) == b.tuple.at(j))) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      TemporalElement both = a.valid.Intersect(b.valid);
+      if (both.empty()) continue;
+      std::vector<Value> values = a.tuple.values();
+      for (size_t j : rhs_only) values.push_back(b.tuple.at(j));
+      joined.push_back(
+          HistoricalTuple{Tuple(std::move(values)), std::move(both)});
+    }
+  }
+  return HistoricalState::Make(std::move(schema), std::move(joined));
+}
+
+Result<HistoricalState> Rename(const HistoricalState& state,
+                               std::string_view from, std::string_view to) {
+  TTRA_ASSIGN_OR_RETURN(Schema schema, state.schema().Rename(from, to));
+  return HistoricalState::Make(std::move(schema), state.tuples());
+}
+
+Result<HistoricalState> FromSnapshot(const SnapshotState& state,
+                                     const TemporalElement& valid) {
+  std::vector<HistoricalTuple> tuples;
+  tuples.reserve(state.size());
+  for (const Tuple& t : state.tuples()) {
+    tuples.push_back(HistoricalTuple{t, valid});
+  }
+  return HistoricalState::Make(state.schema(), std::move(tuples));
+}
+
+}  // namespace ttra::historical_ops

@@ -1,0 +1,70 @@
+#ifndef TTRA_HISTORICAL_HOPERATORS_H_
+#define TTRA_HISTORICAL_HOPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "historical/hstate.h"
+#include "historical/temporal_expr.h"
+#include "snapshot/predicate.h"
+#include "util/result.h"
+
+namespace ttra::historical_ops {
+
+/// The historical counterparts ∪̂ −̂ ×̂ π̂ σ̂ of the snapshot operators plus
+/// the new valid-time operator δ_{G,V} (paper §4). All evaluate to
+/// historical states and are pure.
+///
+/// Semantics follow the homogeneous (temporal-element) model:
+///  * ∪̂ merges the temporal elements of value-equal tuples;
+///  * −̂ subtracts elements of value-equal tuples, dropping tuples whose
+///    element becomes empty (a tuple survives for the chronons at which it
+///    is in the left operand's history but not the right's);
+///  * ×̂ concatenates value tuples and *intersects* elements (a combined
+///    fact holds only when both facts hold), dropping empty results;
+///  * π̂ projects value components and merges elements of tuples that
+///    become equal;
+///  * σ̂ selects on value components only, leaving elements untouched.
+
+Result<HistoricalState> Union(const HistoricalState& lhs,
+                              const HistoricalState& rhs);
+
+Result<HistoricalState> Difference(const HistoricalState& lhs,
+                                   const HistoricalState& rhs);
+
+Result<HistoricalState> Product(const HistoricalState& lhs,
+                                const HistoricalState& rhs);
+
+Result<HistoricalState> Project(const HistoricalState& state,
+                                const std::vector<std::string>& attributes);
+
+Result<HistoricalState> Select(const HistoricalState& state,
+                               const Predicate& predicate);
+
+/// δ_{G,V}(E): valid-time selection and projection. Keeps the tuples whose
+/// valid-time element satisfies G, then replaces each kept tuple's element
+/// with V evaluated on it (tuples whose new element is empty are dropped).
+Result<HistoricalState> Delta(const HistoricalState& state,
+                              const TemporalPred& pred,
+                              const TemporalExpr& projection);
+
+// ---- Derived operators -------------------------------------------------
+
+/// ∩̂: value-equal tuples with intersected elements.
+Result<HistoricalState> Intersect(const HistoricalState& lhs,
+                                  const HistoricalState& rhs);
+
+/// Equijoin on shared attribute names with element intersection.
+Result<HistoricalState> NaturalJoin(const HistoricalState& lhs,
+                                    const HistoricalState& rhs);
+
+Result<HistoricalState> Rename(const HistoricalState& state,
+                               std::string_view from, std::string_view to);
+
+/// Promotes a snapshot state to an historical state valid over `valid`.
+Result<HistoricalState> FromSnapshot(const SnapshotState& state,
+                                     const TemporalElement& valid);
+
+}  // namespace ttra::historical_ops
+
+#endif  // TTRA_HISTORICAL_HOPERATORS_H_

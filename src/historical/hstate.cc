@@ -1,0 +1,83 @@
+#include "historical/hstate.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/hash.h"
+
+namespace ttra {
+
+std::string HistoricalTuple::ToString() const {
+  return tuple.ToString() + " @ " + valid.ToString();
+}
+
+size_t HistoricalTuple::Hash() const {
+  return HashCombine(tuple.Hash(), valid.Hash());
+}
+
+std::ostream& operator<<(std::ostream& os, const HistoricalTuple& tuple) {
+  return os << tuple.ToString();
+}
+
+Result<HistoricalState> HistoricalState::Make(
+    Schema schema, std::vector<HistoricalTuple> tuples) {
+  std::map<Tuple, TemporalElement> merged;
+  for (HistoricalTuple& ht : tuples) {
+    TTRA_RETURN_IF_ERROR(ht.tuple.ConformsTo(schema));
+    auto [it, inserted] = merged.emplace(std::move(ht.tuple), ht.valid);
+    if (!inserted) it->second = it->second.Union(ht.valid);
+  }
+  std::vector<HistoricalTuple> canonical;
+  canonical.reserve(merged.size());
+  for (auto& [tuple, valid] : merged) {
+    if (valid.empty()) continue;
+    canonical.push_back(HistoricalTuple{tuple, std::move(valid)});
+  }
+  // std::map iteration is already sorted by tuple; elements are unique.
+  return HistoricalState(std::move(schema), std::move(canonical));
+}
+
+HistoricalState HistoricalState::Empty(Schema schema) {
+  return HistoricalState(std::move(schema), {});
+}
+
+TemporalElement HistoricalState::ValidTimeOf(const Tuple& tuple) const {
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), tuple,
+      [](const HistoricalTuple& ht, const Tuple& t) { return ht.tuple < t; });
+  if (it != tuples_.end() && it->tuple == tuple) return it->valid;
+  return TemporalElement();
+}
+
+SnapshotState HistoricalState::SnapshotAt(Chronon t) const {
+  std::vector<Tuple> valid_now;
+  for (const HistoricalTuple& ht : tuples_) {
+    if (ht.valid.Contains(t)) valid_now.push_back(ht.tuple);
+  }
+  // Tuples are unique and sorted already, so Make cannot fail (they
+  // conformed on construction).
+  return *SnapshotState::Make(schema_, std::move(valid_now));
+}
+
+std::string HistoricalState::ToString() const {
+  std::string out = schema_.ToString();
+  out += " {";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuples_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+size_t HistoricalState::Hash() const {
+  size_t seed = schema_.Hash();
+  for (const HistoricalTuple& t : tuples_) seed = HashCombine(seed, t.Hash());
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const HistoricalState& state) {
+  return os << state.ToString();
+}
+
+}  // namespace ttra

@@ -1,0 +1,95 @@
+#ifndef TTRA_HISTORICAL_HSTATE_H_
+#define TTRA_HISTORICAL_HSTATE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "historical/temporal_element.h"
+#include "snapshot/schema.h"
+#include "snapshot/state.h"
+#include "snapshot/tuple.h"
+#include "util/result.h"
+
+namespace ttra {
+
+/// A value tuple stamped with the temporal element over which it is valid.
+struct HistoricalTuple {
+  Tuple tuple;
+  TemporalElement valid;
+
+  std::string ToString() const;
+  size_t Hash() const;
+
+  friend bool operator==(const HistoricalTuple&,
+                         const HistoricalTuple&) = default;
+  friend bool operator<(const HistoricalTuple& a, const HistoricalTuple& b) {
+    if (a.tuple < b.tuple) return true;
+    if (b.tuple < a.tuple) return false;
+    return a.valid < b.valid;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const HistoricalTuple& tuple);
+
+/// An element of the paper's HISTORICAL STATE semantic domain: the history
+/// of the modeled enterprise as currently best known. Canonical form is
+/// *homogeneous*: value tuples are unique (equal value tuples have their
+/// temporal elements merged) and no tuple has an empty element. This makes
+/// state equality structural, which the temporal storage layer relies on.
+class HistoricalState {
+ public:
+  HistoricalState() = default;
+
+  /// Validates conformance and canonicalizes (merges duplicates, drops
+  /// empty-element tuples, sorts).
+  static Result<HistoricalState> Make(Schema schema,
+                                      std::vector<HistoricalTuple> tuples);
+
+  static HistoricalState Empty(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<HistoricalTuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// The temporal element attached to `tuple`, or the empty element if the
+  /// value tuple is absent.
+  TemporalElement ValidTimeOf(const Tuple& tuple) const;
+
+  /// The snapshot state valid at chronon t (the "timeslice": tuples whose
+  /// element contains t, with timestamps dropped).
+  SnapshotState SnapshotAt(Chronon t) const;
+
+  /// "(a: int) {(1) @ [0, 5), (2) @ [3, 7)}".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const HistoricalState&,
+                         const HistoricalState&) = default;
+
+ private:
+  HistoricalState(Schema schema, std::vector<HistoricalTuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  Schema schema_;
+  std::vector<HistoricalTuple> tuples_;
+};
+
+std::ostream& operator<<(std::ostream& os, const HistoricalState& state);
+
+}  // namespace ttra
+
+namespace std {
+template <>
+struct hash<ttra::HistoricalTuple> {
+  size_t operator()(const ttra::HistoricalTuple& t) const { return t.Hash(); }
+};
+template <>
+struct hash<ttra::HistoricalState> {
+  size_t operator()(const ttra::HistoricalState& s) const { return s.Hash(); }
+};
+}  // namespace std
+
+#endif  // TTRA_HISTORICAL_HSTATE_H_

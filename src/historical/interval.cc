@@ -1,0 +1,20 @@
+#include "historical/interval.h"
+
+namespace ttra {
+
+namespace {
+std::string ChrononToString(Chronon t) {
+  if (t == kChrononMax) return "inf";
+  return std::to_string(t);
+}
+}  // namespace
+
+std::string Interval::ToString() const {
+  return "[" + ChrononToString(begin) + ", " + ChrononToString(end) + ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval) {
+  return os << interval.ToString();
+}
+
+}  // namespace ttra

@@ -1,0 +1,49 @@
+#ifndef TTRA_HISTORICAL_INTERVAL_H_
+#define TTRA_HISTORICAL_INTERVAL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace ttra {
+
+/// Valid-time instants ("chronons"). The historical algebra is discrete;
+/// kChrononMax serves as "forever" in the printed form.
+using Chronon = int64_t;
+
+inline constexpr Chronon kChrononMax = INT64_MAX;
+inline constexpr Chronon kChrononMin = INT64_MIN;
+
+/// A half-open valid-time interval [begin, end). Empty iff begin >= end.
+struct Interval {
+  Chronon begin = 0;
+  Chronon end = 0;
+
+  static Interval Make(Chronon begin, Chronon end) { return {begin, end}; }
+  /// [t, t+1): the single chronon t.
+  static Interval Point(Chronon t) { return {t, t + 1}; }
+  /// [begin, forever).
+  static Interval From(Chronon begin) { return {begin, kChrononMax}; }
+
+  bool empty() const { return begin >= end; }
+  bool Contains(Chronon t) const { return begin <= t && t < end; }
+  bool Overlaps(const Interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  /// True if the intervals overlap or touch (can be coalesced).
+  bool Meets(const Interval& other) const {
+    return begin <= other.end && other.begin <= end;
+  }
+
+  /// "[begin, end)"; kChrononMax prints as "inf".
+  std::string ToString() const;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+  friend auto operator<=>(const Interval&, const Interval&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval);
+
+}  // namespace ttra
+
+#endif  // TTRA_HISTORICAL_INTERVAL_H_

@@ -1,0 +1,139 @@
+#include "historical/temporal_element.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace ttra {
+
+TemporalElement TemporalElement::Of(std::vector<Interval> intervals) {
+  intervals.erase(
+      std::remove_if(intervals.begin(), intervals.end(),
+                     [](const Interval& i) { return i.empty(); }),
+      intervals.end());
+  std::sort(intervals.begin(), intervals.end());
+  TemporalElement element;
+  for (const Interval& interval : intervals) {
+    if (!element.intervals_.empty() &&
+        element.intervals_.back().Meets(interval)) {
+      element.intervals_.back().end =
+          std::max(element.intervals_.back().end, interval.end);
+    } else {
+      element.intervals_.push_back(interval);
+    }
+  }
+  return element;
+}
+
+bool TemporalElement::Contains(Chronon t) const {
+  // Binary search: first interval with begin > t, then check predecessor.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Chronon value, const Interval& i) { return value < i.begin; });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->Contains(t);
+}
+
+bool TemporalElement::Overlaps(const TemporalElement& other) const {
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    if (intervals_[i].Overlaps(other.intervals_[j])) return true;
+    if (intervals_[i].end <= other.intervals_[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool TemporalElement::Covers(const TemporalElement& other) const {
+  return other.Difference(*this).empty();
+}
+
+uint64_t TemporalElement::Duration() const {
+  uint64_t total = 0;
+  for (const Interval& i : intervals_) {
+    const uint64_t len = static_cast<uint64_t>(i.end) -
+                         static_cast<uint64_t>(i.begin);
+    if (total > UINT64_MAX - len) return UINT64_MAX;
+    total += len;
+  }
+  return total;
+}
+
+TemporalElement TemporalElement::Union(const TemporalElement& other) const {
+  std::vector<Interval> merged = intervals_;
+  merged.insert(merged.end(), other.intervals_.begin(),
+                other.intervals_.end());
+  return Of(std::move(merged));
+}
+
+TemporalElement TemporalElement::Intersect(
+    const TemporalElement& other) const {
+  std::vector<Interval> result;
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    const Chronon lo = std::max(a.begin, b.begin);
+    const Chronon hi = std::min(a.end, b.end);
+    if (lo < hi) result.push_back(Interval::Make(lo, hi));
+    if (a.end <= b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return Of(std::move(result));
+}
+
+TemporalElement TemporalElement::Difference(
+    const TemporalElement& other) const {
+  std::vector<Interval> result;
+  size_t j = 0;
+  for (Interval a : intervals_) {
+    while (j < other.intervals_.size() &&
+           other.intervals_[j].end <= a.begin) {
+      ++j;
+    }
+    size_t k = j;
+    while (!a.empty() && k < other.intervals_.size() &&
+           other.intervals_[k].begin < a.end) {
+      const Interval& b = other.intervals_[k];
+      if (b.begin > a.begin) {
+        result.push_back(Interval::Make(a.begin, b.begin));
+      }
+      a.begin = std::max(a.begin, b.end);
+      if (b.end >= a.end) break;
+      ++k;
+    }
+    if (!a.empty()) result.push_back(a);
+  }
+  return Of(std::move(result));
+}
+
+std::string TemporalElement::ToString() const {
+  if (intervals_.empty()) return "[)";
+  std::string out;
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += " u ";
+    out += intervals_[i].ToString();
+  }
+  return out;
+}
+
+size_t TemporalElement::Hash() const {
+  size_t seed = intervals_.size();
+  for (const Interval& i : intervals_) {
+    seed = HashCombine(seed, HashValue(i.begin));
+    seed = HashCombine(seed, HashValue(i.end));
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const TemporalElement& element) {
+  return os << element.ToString();
+}
+
+}  // namespace ttra

@@ -1,0 +1,270 @@
+#include "lang/analyzer.h"
+
+namespace ttra::lang {
+
+std::string_view StateKindName(StateKind kind) {
+  return kind == StateKind::kSnapshot ? "snapshot" : "historical";
+}
+
+Catalog::Catalog(const Database& db) {
+  for (const std::string& name : db.RelationNames()) {
+    const Relation* relation = db.Find(name);
+    entries_.emplace(name, Entry{relation->type(), relation->schema()});
+  }
+}
+
+const Catalog::Entry* Catalog::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::Apply(const Stmt& stmt) {
+  return std::visit(
+      [this](const auto& s) -> Status {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, DefineRelationStmt>) {
+          if (entries_.contains(s.name)) {
+            return AlreadyDefinedError("relation already defined: " + s.name);
+          }
+          entries_.emplace(s.name, Entry{s.type, s.schema});
+          return Status::Ok();
+        } else if constexpr (std::is_same_v<T, DeleteRelationStmt>) {
+          if (entries_.erase(s.name) == 0) {
+            return UnknownIdentifierError("delete of undefined relation: " +
+                                          s.name);
+          }
+          return Status::Ok();
+        } else if constexpr (std::is_same_v<T, ModifySchemaStmt>) {
+          auto it = entries_.find(s.name);
+          if (it == entries_.end()) {
+            return UnknownIdentifierError(
+                "modify_schema of undefined relation: " + s.name);
+          }
+          it->second.schema = s.schema;
+          return Status::Ok();
+        } else {
+          return Status::Ok();
+        }
+      },
+      stmt);
+}
+
+namespace {
+
+Result<ExprType> AnalyzeBinary(const Expr& expr, const Catalog& catalog) {
+  TTRA_ASSIGN_OR_RETURN(ExprType lhs, Analyze(expr.left(), catalog));
+  TTRA_ASSIGN_OR_RETURN(ExprType rhs, Analyze(expr.right(), catalog));
+  if (lhs.kind != rhs.kind) {
+    return TypeMismatchError(
+        std::string(BinaryOpName(expr.op())) + " mixes a " +
+        std::string(StateKindName(lhs.kind)) + " operand with a " +
+        std::string(StateKindName(rhs.kind)) + " operand");
+  }
+  switch (expr.op()) {
+    case BinaryOp::kUnion:
+    case BinaryOp::kMinus:
+    case BinaryOp::kIntersect:
+      if (lhs.schema != rhs.schema) {
+        return SchemaMismatchError(
+            std::string(BinaryOpName(expr.op())) +
+            " requires identical schemas; got " + lhs.schema.ToString() +
+            " vs " + rhs.schema.ToString());
+      }
+      return lhs;
+    case BinaryOp::kTimes: {
+      TTRA_ASSIGN_OR_RETURN(Schema schema, lhs.schema.Concat(rhs.schema));
+      return ExprType{lhs.kind, std::move(schema)};
+    }
+    case BinaryOp::kJoin: {
+      // Natural-join result: lhs attributes then rhs-only attributes;
+      // shared names must agree on type.
+      std::vector<Attribute> attrs = lhs.schema.attributes();
+      for (const Attribute& attr : rhs.schema.attributes()) {
+        auto i = lhs.schema.IndexOf(attr.name);
+        if (i.has_value()) {
+          if (lhs.schema.attribute(*i).type != attr.type) {
+            return SchemaMismatchError("natural join attribute '" +
+                                       attr.name + "' has mismatched types");
+          }
+        } else {
+          attrs.push_back(attr);
+        }
+      }
+      TTRA_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+      return ExprType{lhs.kind, std::move(schema)};
+    }
+  }
+  return InternalError("unhandled binary operator");
+}
+
+Result<ExprType> AnalyzeExtend(const Expr& expr, const Catalog& catalog) {
+  TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
+  std::vector<Attribute> attrs = child.schema.attributes();
+  for (const auto& [name, scalar] : expr.definitions()) {
+    TTRA_ASSIGN_OR_RETURN(ValueType type, scalar.TypeIn(child.schema));
+    auto i = child.schema.IndexOf(name);
+    if (i.has_value()) {
+      attrs[*i].type = type;  // in-place redefinition (replace semantics)
+    } else {
+      attrs.push_back(Attribute{name, type});
+    }
+  }
+  TTRA_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+  return ExprType{child.kind, std::move(schema)};
+}
+
+}  // namespace
+
+Result<ExprType> Analyze(const Expr& expr, const Catalog& catalog) {
+  switch (expr.kind()) {
+    case Expr::Kind::kConst:
+      if (std::holds_alternative<HistoricalState>(expr.constant())) {
+        return ExprType{StateKind::kHistorical,
+                        std::get<HistoricalState>(expr.constant()).schema()};
+      }
+      return ExprType{StateKind::kSnapshot,
+                      std::get<SnapshotState>(expr.constant()).schema()};
+    case Expr::Kind::kBinary:
+      return AnalyzeBinary(expr, catalog);
+    case Expr::Kind::kProject: {
+      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
+      TTRA_ASSIGN_OR_RETURN(Schema schema,
+                            child.schema.Project(expr.attributes()));
+      return ExprType{child.kind, std::move(schema)};
+    }
+    case Expr::Kind::kSelect: {
+      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
+      TTRA_RETURN_IF_ERROR(expr.predicate().Validate(child.schema));
+      return child;
+    }
+    case Expr::Kind::kRename: {
+      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
+      TTRA_ASSIGN_OR_RETURN(
+          Schema schema,
+          child.schema.Rename(expr.rename_from(), expr.rename_to()));
+      return ExprType{child.kind, std::move(schema)};
+    }
+    case Expr::Kind::kExtend:
+      return AnalyzeExtend(expr, catalog);
+    case Expr::Kind::kDelta: {
+      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
+      if (child.kind != StateKind::kHistorical) {
+        return TypeMismatchError(
+            "delta applies to historical states only; operand is snapshot");
+      }
+      return child;
+    }
+    case Expr::Kind::kSummarize: {
+      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
+      TTRA_ASSIGN_OR_RETURN(
+          Schema schema,
+          AggregateSchema(child.schema, expr.group_attrs(),
+                          expr.aggregates()));
+      return ExprType{child.kind, std::move(schema)};
+    }
+    case Expr::Kind::kRollback: {
+      const Catalog::Entry* entry = catalog.Find(expr.relation_name());
+      if (entry == nullptr) {
+        return UnknownIdentifierError("rollback of undefined relation: " +
+                                      expr.relation_name());
+      }
+      if (!expr.rollback_historical()) {
+        // ρ: snapshot states. ∞ allows snapshot or rollback relations;
+        // a finite transaction number requires a rollback relation.
+        if (!HoldsSnapshotStates(entry->type)) {
+          return InvalidRollbackError("rho applied to " +
+                                      std::string(RelationTypeName(
+                                          entry->type)) +
+                                      " relation '" + expr.relation_name() +
+                                      "' (use hrho)");
+        }
+        if (expr.rollback_txn().has_value() &&
+            entry->type != RelationType::kRollback) {
+          return InvalidRollbackError(
+              "rho with a transaction number requires a rollback relation");
+        }
+        return ExprType{StateKind::kSnapshot, entry->schema};
+      }
+      // ρ̂: historical states.
+      if (HoldsSnapshotStates(entry->type)) {
+        return InvalidRollbackError(
+            "hrho applied to " +
+            std::string(RelationTypeName(entry->type)) + " relation '" +
+            expr.relation_name() + "' (use rho)");
+      }
+      if (expr.rollback_txn().has_value() &&
+          entry->type != RelationType::kTemporal) {
+        return InvalidRollbackError(
+            "hrho with a transaction number requires a temporal relation");
+      }
+      return ExprType{StateKind::kHistorical, entry->schema};
+    }
+  }
+  return InternalError("unhandled expression kind");
+}
+
+Status AnalyzeStmt(const Stmt& stmt, const Catalog& catalog) {
+  return std::visit(
+      [&catalog](const auto& s) -> Status {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, ModifyStateStmt>) {
+          const Catalog::Entry* entry = catalog.Find(s.name);
+          if (entry == nullptr) {
+            return UnknownIdentifierError(
+                "modify_state of undefined relation: " + s.name);
+          }
+          auto type = Analyze(s.expr, catalog);
+          if (!type.ok()) return type.status();
+          const StateKind required = HoldsSnapshotStates(entry->type)
+                                         ? StateKind::kSnapshot
+                                         : StateKind::kHistorical;
+          if (type->kind != required) {
+            return TypeMismatchError(
+                "modify_state of " +
+                std::string(RelationTypeName(entry->type)) + " relation '" +
+                s.name + "' requires a " +
+                std::string(StateKindName(required)) +
+                " expression, got " + std::string(StateKindName(type->kind)));
+          }
+          if (type->schema != entry->schema) {
+            return SchemaMismatchError(
+                "modify_state expression schema " + type->schema.ToString() +
+                " does not match relation schema " +
+                entry->schema.ToString());
+          }
+          return Status::Ok();
+        } else if constexpr (std::is_same_v<T, ShowStmt>) {
+          auto type = Analyze(s.expr, catalog);
+          return type.ok() ? Status::Ok() : type.status();
+        } else if constexpr (std::is_same_v<T, DefineRelationStmt>) {
+          if (catalog.Find(s.name) != nullptr) {
+            return AlreadyDefinedError("relation already defined: " + s.name);
+          }
+          return Status::Ok();
+        } else if constexpr (std::is_same_v<T, DeleteRelationStmt>) {
+          if (catalog.Find(s.name) == nullptr) {
+            return UnknownIdentifierError(
+                "delete_relation of undefined relation: " + s.name);
+          }
+          return Status::Ok();
+        } else {
+          static_assert(std::is_same_v<T, ModifySchemaStmt>);
+          if (catalog.Find(s.name) == nullptr) {
+            return UnknownIdentifierError(
+                "modify_schema of undefined relation: " + s.name);
+          }
+          return Status::Ok();
+        }
+      },
+      stmt);
+}
+
+Status AnalyzeProgram(const Program& program, Catalog catalog) {
+  for (const Stmt& stmt : program) {
+    TTRA_RETURN_IF_ERROR(AnalyzeStmt(stmt, catalog));
+    TTRA_RETURN_IF_ERROR(catalog.Apply(stmt));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ttra::lang

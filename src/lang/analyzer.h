@@ -1,0 +1,63 @@
+#ifndef TTRA_LANG_ANALYZER_H_
+#define TTRA_LANG_ANALYZER_H_
+
+#include <map>
+#include <string>
+
+#include "lang/ast.h"
+#include "rollback/database.h"
+
+namespace ttra::lang {
+
+/// Which state domain an expression evaluates into.
+enum class StateKind : uint8_t { kSnapshot, kHistorical };
+
+std::string_view StateKindName(StateKind kind);
+
+/// Static type of an expression: its state kind and scheme.
+struct ExprType {
+  StateKind kind = StateKind::kSnapshot;
+  Schema schema;
+
+  friend bool operator==(const ExprType&, const ExprType&) = default;
+};
+
+/// Name → (relation type, current scheme), the part of the database state
+/// the analyzer needs. Derivable from a Database and updatable by
+/// statements, so whole programs can be checked before execution.
+class Catalog {
+ public:
+  Catalog() = default;
+  explicit Catalog(const Database& db);
+
+  struct Entry {
+    RelationType type = RelationType::kSnapshot;
+    Schema schema;
+  };
+
+  const Entry* Find(const std::string& name) const;
+
+  /// Applies a statement's effect on the catalog (define/delete/
+  /// modify_schema); modify_state and show leave it unchanged.
+  Status Apply(const Stmt& stmt);
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// Static analysis of an expression: resolves each polymorphic operator
+/// use, checks schemas/types, and returns the expression's type. Mirrors
+/// every run-time error the evaluator can produce except value-dependent
+/// ones.
+Result<ExprType> Analyze(const Expr& expr, const Catalog& catalog);
+
+/// Checks one statement (expression analysis plus command-level rules:
+/// modify_state's expression kind must match the target relation's type).
+Status AnalyzeStmt(const Stmt& stmt, const Catalog& catalog);
+
+/// Checks a whole program, threading catalog effects through the sequence.
+Status AnalyzeProgram(const Program& program, Catalog catalog);
+
+}  // namespace ttra::lang
+
+#endif  // TTRA_LANG_ANALYZER_H_

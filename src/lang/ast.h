@@ -1,0 +1,208 @@
+#ifndef TTRA_LANG_AST_H_
+#define TTRA_LANG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "historical/hstate.h"
+#include "snapshot/aggregate.h"
+#include "historical/temporal_expr.h"
+#include "rollback/relation.h"
+#include "snapshot/predicate.h"
+#include "snapshot/state.h"
+
+namespace ttra::lang {
+
+/// What every expression of the language evaluates to: a snapshot state or
+/// an historical state (the paper's two state domains).
+using StateValue = std::variant<SnapshotState, HistoricalState>;
+
+/// Arithmetic over attribute values, used by the `extend` operator (our
+/// language extension backing Quel's `replace ... set a = a + 1`).
+class ScalarExpr {
+ public:
+  enum class Op : uint8_t { kAdd, kSub, kMul, kDiv };
+  enum class Kind : uint8_t { kAttr, kConst, kBinary };
+
+  /// Defaults to the integer constant 0.
+  ScalarExpr();
+
+  static ScalarExpr Attr(std::string name);
+  static ScalarExpr Const(Value value);
+  static ScalarExpr Binary(Op op, ScalarExpr lhs, ScalarExpr rhs);
+
+  /// Evaluates on one tuple. `+` concatenates strings; all four operators
+  /// work on numeric operands (int op int → int except /, which divides as
+  /// int and errors on zero; any double operand → double).
+  Result<Value> Eval(const Schema& schema, const Tuple& tuple) const;
+
+  /// Static result type under `schema`.
+  Result<ValueType> TypeIn(const Schema& schema) const;
+
+  std::set<std::string> AttributeNames() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const ScalarExpr& a, const ScalarExpr& b);
+
+  Kind kind() const;
+  const std::string& attr_name() const;  // kAttr
+  const Value& constant() const;         // kConst
+  Op op() const;                         // kBinary
+  ScalarExpr left() const;               // kBinary
+  ScalarExpr right() const;              // kBinary
+
+ private:
+  struct Node;
+  explicit ScalarExpr(std::shared_ptr<const Node> node);
+
+  std::shared_ptr<const Node> node_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ScalarExpr& expr);
+
+/// Binary algebraic operators. In the concrete syntax these are
+/// polymorphic: the analyzer resolves each use to the snapshot operator or
+/// its historical counterpart (∪ vs ∪̂ etc.) from the operand state kinds.
+enum class BinaryOp : uint8_t { kUnion, kMinus, kTimes, kIntersect, kJoin };
+
+std::string_view BinaryOpName(BinaryOp op);
+
+/// The paper's EXPRESSION syntactic domain: constants, the five snapshot
+/// operators (+ derived intersect/join/rename and the extend extension),
+/// the historical operators including δ_{G,V}, and the rollback operators
+/// ρ (kRollback, historical=false) and ρ̂ (historical=true). Immutable;
+/// cheap to copy.
+class Expr {
+ public:
+  enum class Kind : uint8_t {
+    kConst,
+    kBinary,
+    kProject,
+    kSelect,
+    kRename,
+    kExtend,
+    kDelta,
+    kSummarize,
+    kRollback,
+  };
+
+  /// Defaults to the empty snapshot-state constant.
+  Expr();
+
+  static Expr Const(SnapshotState state);
+  static Expr Const(HistoricalState state);
+  static Expr Binary(BinaryOp op, Expr lhs, Expr rhs);
+  static Expr Project(std::vector<std::string> attributes, Expr child);
+  static Expr Select(Predicate predicate, Expr child);
+  static Expr Rename(std::string from, std::string to, Expr child);
+  static Expr Extend(
+      std::vector<std::pair<std::string, ScalarExpr>> definitions, Expr child);
+  static Expr Delta(TemporalPred pred, TemporalExpr projection, Expr child);
+  /// Aggregation (Quel's aggregate functions as an algebraic operator;
+  /// snapshot-reducible temporal semantics over historical operands).
+  static Expr Summarize(std::vector<std::string> group_attrs,
+                        std::vector<AggregateDef> aggregates, Expr child);
+  /// ρ(name, txn); nullopt txn means ∞. `historical` selects ρ̂.
+  static Expr Rollback(std::string name,
+                       std::optional<TransactionNumber> txn, bool historical);
+
+  std::string ToString() const;
+
+  /// Relation names referenced via ρ/ρ̂ anywhere in the tree.
+  std::set<std::string> RelationNames() const;
+
+  friend bool operator==(const Expr& a, const Expr& b);
+
+  Kind kind() const;
+  // kConst:
+  const StateValue& constant() const;
+  // kBinary:
+  BinaryOp op() const;
+  // kBinary (both), kProject/kSelect/kRename/kExtend/kDelta (child = left):
+  Expr left() const;
+  Expr right() const;
+  // kProject:
+  const std::vector<std::string>& attributes() const;
+  // kSelect:
+  const Predicate& predicate() const;
+  // kRename:
+  const std::string& rename_from() const;
+  const std::string& rename_to() const;
+  // kExtend:
+  const std::vector<std::pair<std::string, ScalarExpr>>& definitions() const;
+  // kDelta:
+  const TemporalPred& temporal_pred() const;
+  const TemporalExpr& temporal_projection() const;
+  // kSummarize:
+  const std::vector<std::string>& group_attrs() const;
+  const std::vector<AggregateDef>& aggregates() const;
+  // kRollback:
+  const std::string& relation_name() const;
+  const std::optional<TransactionNumber>& rollback_txn() const;
+  bool rollback_historical() const;
+
+ private:
+  struct Node;
+  explicit Expr(std::shared_ptr<const Node> node);
+
+  std::shared_ptr<const Node> node_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Expr& expr);
+
+// --- Statements (the paper's COMMAND domain plus the show query and the --
+// --- extension commands). -------------------------------------------------
+
+struct DefineRelationStmt {
+  std::string name;
+  RelationType type = RelationType::kSnapshot;
+  Schema schema;
+  friend bool operator==(const DefineRelationStmt&,
+                         const DefineRelationStmt&) = default;
+};
+
+struct ModifyStateStmt {
+  std::string name;
+  Expr expr;
+  friend bool operator==(const ModifyStateStmt&,
+                         const ModifyStateStmt&) = default;
+};
+
+struct DeleteRelationStmt {
+  std::string name;
+  friend bool operator==(const DeleteRelationStmt&,
+                         const DeleteRelationStmt&) = default;
+};
+
+struct ModifySchemaStmt {
+  std::string name;
+  Schema schema;
+  friend bool operator==(const ModifySchemaStmt&,
+                         const ModifySchemaStmt&) = default;
+};
+
+/// Pure query: evaluates the expression and reports its value (the
+/// "display the contents of a relation" command of §3.1).
+struct ShowStmt {
+  Expr expr;
+  friend bool operator==(const ShowStmt&, const ShowStmt&) = default;
+};
+
+using Stmt = std::variant<DefineRelationStmt, ModifyStateStmt,
+                          DeleteRelationStmt, ModifySchemaStmt, ShowStmt>;
+
+/// The paper's SENTENCE domain: a non-empty command sequence.
+using Program = std::vector<Stmt>;
+
+std::string SchemaToSyntax(const Schema& schema);
+std::string StmtToString(const Stmt& stmt);
+std::string ProgramToString(const Program& program);
+
+}  // namespace ttra::lang
+
+#endif  // TTRA_LANG_AST_H_

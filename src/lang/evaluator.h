@@ -1,0 +1,50 @@
+#ifndef TTRA_LANG_EVALUATOR_H_
+#define TTRA_LANG_EVALUATOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.h"
+#include "rollback/database.h"
+
+namespace ttra::lang {
+
+/// Execution controls.
+struct ExecOptions {
+  /// When false, failing commands are paper-faithful no-ops (the `else d`
+  /// branches of C⟦·⟧): the database is left unchanged and execution
+  /// continues. When true (default), the first failure stops execution and
+  /// is returned.
+  bool strict = true;
+};
+
+/// E⟦expr⟧ db — evaluates an expression on a database, never modifying it.
+/// The result is a snapshot or historical state.
+Result<StateValue> EvalExpr(const Expr& expr, const Database& db);
+
+/// C⟦stmt⟧ db — applies one command to the database. For ShowStmt the
+/// evaluated state is appended to `outputs` (if non-null) and the database
+/// is untouched.
+Status ExecStmt(const Stmt& stmt, Database& db,
+                std::vector<StateValue>* outputs = nullptr,
+                const ExecOptions& options = {});
+
+/// Applies every command of the program in sequence (C⟦C1, C2⟧).
+Status ExecProgram(const Program& program, Database& db,
+                   std::vector<StateValue>* outputs = nullptr,
+                   const ExecOptions& options = {});
+
+/// Parses and executes source text against an existing database.
+Status Run(std::string_view source, Database& db,
+           std::vector<StateValue>* outputs = nullptr,
+           const ExecOptions& options = {});
+
+/// P⟦sentence⟧ — parses and evaluates a sentence against the EMPTY
+/// database, returning the resulting database.
+Result<Database> EvalSentence(std::string_view source,
+                              DatabaseOptions db_options = {},
+                              const ExecOptions& options = {});
+
+}  // namespace ttra::lang
+
+#endif  // TTRA_LANG_EVALUATOR_H_

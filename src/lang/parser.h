@@ -1,0 +1,39 @@
+#ifndef TTRA_LANG_PARSER_H_
+#define TTRA_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace ttra::lang {
+
+/// Recursive-descent parser for the concrete syntax (grammar in README.md).
+/// All entry points are total: malformed input yields kParseError with a
+/// line/column diagnostic.
+
+/// Parses a full program (sentence): one or more ';'-separated statements.
+Result<Program> ParseProgram(std::string_view source);
+
+/// Parses a single statement (trailing ';' optional).
+Result<Stmt> ParseStmt(std::string_view source);
+
+/// Parses a standalone algebraic expression.
+Result<Expr> ParseExpr(std::string_view source);
+
+/// Parses a standalone selection predicate (domain 𝓕).
+Result<Predicate> ParsePredicate(std::string_view source);
+
+/// Token-level entry points for embedding language fragments in other
+/// front-ends (the Quel compiler). Each parses starting at tokens[pos] and
+/// advances pos past the consumed fragment.
+Result<Predicate> ParsePredicateTokens(const std::vector<Token>& tokens,
+                                       size_t& pos);
+Result<ScalarExpr> ParseScalarTokens(const std::vector<Token>& tokens,
+                                     size_t& pos);
+Result<Value> ParseLiteralTokens(const std::vector<Token>& tokens,
+                                 size_t& pos);
+
+}  // namespace ttra::lang
+
+#endif  // TTRA_LANG_PARSER_H_

@@ -1,0 +1,199 @@
+#include "lang/printer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ttra::lang {
+
+namespace {
+
+std::string RenderGrid(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&widths]() {
+    std::string line = "+";
+    for (size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = rule();
+  out += render_row(header);
+  out += rule();
+  for (const auto& row : rows) out += render_row(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace
+
+std::string FormatTable(const SnapshotState& state) {
+  std::vector<std::string> header;
+  for (const Attribute& attr : state.schema().attributes()) {
+    header.push_back(attr.name);
+  }
+  if (header.empty()) header.push_back("(empty scheme)");
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(state.size());
+  for (const Tuple& tuple : state.tuples()) {
+    std::vector<std::string> row;
+    for (const Value& v : tuple.values()) row.push_back(v.ToString());
+    rows.push_back(std::move(row));
+  }
+  std::string out = RenderGrid(header, rows);
+  out += std::to_string(state.size()) + " tuple(s)\n";
+  return out;
+}
+
+std::string FormatTable(const HistoricalState& state) {
+  std::vector<std::string> header;
+  for (const Attribute& attr : state.schema().attributes()) {
+    header.push_back(attr.name);
+  }
+  header.push_back("valid");
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(state.size());
+  for (const HistoricalTuple& ht : state.tuples()) {
+    std::vector<std::string> row;
+    for (const Value& v : ht.tuple.values()) row.push_back(v.ToString());
+    row.push_back(ht.valid.ToString());
+    rows.push_back(std::move(row));
+  }
+  std::string out = RenderGrid(header, rows);
+  out += std::to_string(state.size()) + " tuple(s)\n";
+  return out;
+}
+
+std::string FormatTable(const StateValue& value) {
+  if (std::holds_alternative<SnapshotState>(value)) {
+    return FormatTable(std::get<SnapshotState>(value));
+  }
+  return FormatTable(std::get<HistoricalState>(value));
+}
+
+namespace {
+
+std::string NodeLabel(const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kConst: {
+      if (std::holds_alternative<HistoricalState>(expr.constant())) {
+        const auto& s = std::get<HistoricalState>(expr.constant());
+        return "const historical " + s.schema().ToString() + " {" +
+               std::to_string(s.size()) + " tuples}";
+      }
+      const auto& s = std::get<SnapshotState>(expr.constant());
+      return "const " + s.schema().ToString() + " {" +
+             std::to_string(s.size()) + " tuples}";
+    }
+    case Expr::Kind::kBinary:
+      return std::string(BinaryOpName(expr.op()));
+    case Expr::Kind::kProject: {
+      std::string names;
+      for (size_t i = 0; i < expr.attributes().size(); ++i) {
+        if (i > 0) names += ", ";
+        names += expr.attributes()[i];
+      }
+      return "project[" + names + "]";
+    }
+    case Expr::Kind::kSelect:
+      return "select[" + expr.predicate().ToString() + "]";
+    case Expr::Kind::kRename:
+      return "rename[" + expr.rename_from() + " -> " + expr.rename_to() +
+             "]";
+    case Expr::Kind::kExtend: {
+      std::string defs;
+      for (size_t i = 0; i < expr.definitions().size(); ++i) {
+        if (i > 0) defs += ", ";
+        defs += expr.definitions()[i].first + " = " +
+                expr.definitions()[i].second.ToString();
+      }
+      return "extend[" + defs + "]";
+    }
+    case Expr::Kind::kDelta:
+      return "delta[" + expr.temporal_pred().ToString() + "; " +
+             expr.temporal_projection().ToString() + "]";
+    case Expr::Kind::kSummarize: {
+      std::string defs;
+      for (size_t i = 0; i < expr.aggregates().size(); ++i) {
+        const AggregateDef& def = expr.aggregates()[i];
+        if (i > 0) defs += ", ";
+        defs += def.name + " = " + std::string(AggFuncName(def.func));
+        if (def.func != AggFunc::kCount) defs += "(" + def.attr + ")";
+      }
+      std::string groups;
+      for (size_t i = 0; i < expr.group_attrs().size(); ++i) {
+        if (i > 0) groups += ", ";
+        groups += expr.group_attrs()[i];
+      }
+      return "summarize[" + groups + "; " + defs + "]";
+    }
+    case Expr::Kind::kRollback:
+      return expr.ToString();
+  }
+  return "?";
+}
+
+void RenderTree(const Expr& expr, const std::string& prefix, bool is_last,
+                bool is_root, std::string& out) {
+  if (is_root) {
+    out += NodeLabel(expr) + "\n";
+  } else {
+    out += prefix + (is_last ? "└─ " : "├─ ") + NodeLabel(expr) + "\n";
+  }
+  // Children.
+  std::vector<Expr> children;
+  switch (expr.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kRollback:
+      break;
+    case Expr::Kind::kBinary:
+      children.push_back(expr.left());
+      children.push_back(expr.right());
+      break;
+    default:
+      children.push_back(expr.left());
+  }
+  const std::string child_prefix =
+      is_root ? "" : prefix + (is_last ? "   " : "│  ");
+  for (size_t i = 0; i < children.size(); ++i) {
+    RenderTree(children[i], child_prefix, i + 1 == children.size(),
+               /*is_root=*/false, out);
+  }
+}
+
+}  // namespace
+
+std::string FormatExprTree(const Expr& expr) {
+  std::string out;
+  RenderTree(expr, "", /*is_last=*/true, /*is_root=*/true, out);
+  return out;
+}
+
+std::string DescribeDatabase(const Database& db) {
+  std::string out = "database at transaction " +
+                    std::to_string(db.transaction_number()) + "\n";
+  for (const std::string& name : db.RelationNames()) {
+    const Relation* r = db.Find(name);
+    out += "  " + name + " : " + std::string(RelationTypeName(r->type())) +
+           " " + r->schema().ToString() + ", " +
+           std::to_string(r->history_length()) + " state(s), ~" +
+           std::to_string(r->ApproxBytes()) + " bytes\n";
+  }
+  return out;
+}
+
+}  // namespace ttra::lang

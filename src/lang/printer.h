@@ -1,0 +1,39 @@
+#ifndef TTRA_LANG_PRINTER_H_
+#define TTRA_LANG_PRINTER_H_
+
+#include <string>
+
+#include "lang/ast.h"
+#include "rollback/database.h"
+
+namespace ttra::lang {
+
+/// Renders a state as an aligned ASCII table (for the REPL and examples):
+///
+///   +------+--------+
+///   | name | salary |
+///   +------+--------+
+///   | "Ed" | 20000  |
+///   +------+--------+
+std::string FormatTable(const SnapshotState& state);
+
+/// Historical tables gain a trailing `valid` column with the temporal
+/// element of each tuple.
+std::string FormatTable(const HistoricalState& state);
+
+std::string FormatTable(const StateValue& value);
+
+/// One line per relation: name, type, scheme, history length, bytes.
+std::string DescribeDatabase(const Database& db);
+
+/// Multi-line operator-tree rendering for EXPLAIN-style output:
+///
+///   select[a > 1]
+///   └─ union
+///      ├─ rho(r, inf)
+///      └─ const (a: int) {2 tuples}
+std::string FormatExprTree(const Expr& expr);
+
+}  // namespace ttra::lang
+
+#endif  // TTRA_LANG_PRINTER_H_

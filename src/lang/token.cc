@@ -1,0 +1,403 @@
+#include "lang/token.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace ttra::lang {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    // Commands.
+    "define_relation", "modify_state", "delete_relation", "modify_schema",
+    "show",
+    // Relation types.
+    "snapshot", "rollback", "historical", "temporal",
+    // Algebraic operators (polymorphic: resolved to the snapshot or
+    // historical variant during analysis).
+    "union", "minus", "times", "intersect", "join", "project", "select",
+    "rename", "extend", "delta", "rho", "hrho", "summarize",
+    // Aggregate functions.
+    "count", "sum", "min", "max", "avg",
+    // Predicate / temporal-expression vocabulary.
+    "and", "or", "not", "true", "false", "valid", "overlaps", "contains",
+    "before", "equals", "isempty", "u",
+    // Numerals.
+    "inf",
+    // Attribute types.
+    "int", "double", "string", "bool", "usertime",
+};
+
+}  // namespace
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kIntLiteral:
+      return "integer literal";
+    case TokenKind::kDoubleLiteral:
+      return "double literal";
+    case TokenKind::kStringLiteral:
+      return "string literal";
+    case TokenKind::kTimeLiteral:
+      return "time literal";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kAtSign:
+      return "'@'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinusSign:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+  }
+  return "unknown token";
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenKind::kKeyword:
+      return "keyword '" + text + "'";
+    case TokenKind::kIntLiteral:
+      return "integer " + std::to_string(int_value);
+    case TokenKind::kDoubleLiteral:
+      return "double " + std::to_string(double_value);
+    case TokenKind::kStringLiteral:
+      return "string \"" + EscapeString(text) + "\"";
+    case TokenKind::kTimeLiteral:
+      return "time @" + std::to_string(int_value);
+    default:
+      return std::string(TokenKindName(kind));
+  }
+}
+
+bool IsKeyword(std::string_view word) {
+  for (std::string_view keyword : kKeywords) {
+    if (word == keyword) return true;
+  }
+  return false;
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (AtEnd()) {
+        token.kind = TokenKind::kEnd;
+        tokens.push_back(std::move(token));
+        return tokens;
+      }
+      TTRA_RETURN_IF_ERROR(LexOne(token));
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (Peek() == '-' && Peek(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Status ErrorHere(std::string_view message) const {
+    return ParseError(std::string(message) + " at line " +
+                      std::to_string(line_) + ", column " +
+                      std::to_string(column_));
+  }
+
+  Status LexOne(Token& token) {
+    const char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexWord(token);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber(token);
+    }
+    switch (c) {
+      case '"':
+        return LexString(token);
+      case '@':
+        return LexTime(token);
+      case '(':
+        Advance();
+        token.kind = TokenKind::kLParen;
+        return Status::Ok();
+      case ')':
+        Advance();
+        token.kind = TokenKind::kRParen;
+        return Status::Ok();
+      case '{':
+        Advance();
+        token.kind = TokenKind::kLBrace;
+        return Status::Ok();
+      case '}':
+        Advance();
+        token.kind = TokenKind::kRBrace;
+        return Status::Ok();
+      case '[':
+        Advance();
+        token.kind = TokenKind::kLBracket;
+        return Status::Ok();
+      case ']':
+        Advance();
+        token.kind = TokenKind::kRBracket;
+        return Status::Ok();
+      case ',':
+        Advance();
+        token.kind = TokenKind::kComma;
+        return Status::Ok();
+      case ';':
+        Advance();
+        token.kind = TokenKind::kSemicolon;
+        return Status::Ok();
+      case ':':
+        Advance();
+        token.kind = TokenKind::kColon;
+        return Status::Ok();
+      case '=':
+        Advance();
+        token.kind = TokenKind::kEq;
+        return Status::Ok();
+      case '!':
+        Advance();
+        if (Peek() != '=') return ErrorHere("expected '=' after '!'");
+        Advance();
+        token.kind = TokenKind::kNe;
+        return Status::Ok();
+      case '<':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          token.kind = TokenKind::kLe;
+        } else {
+          token.kind = TokenKind::kLt;
+        }
+        return Status::Ok();
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          token.kind = TokenKind::kGe;
+        } else {
+          token.kind = TokenKind::kGt;
+        }
+        return Status::Ok();
+      case '+':
+        Advance();
+        token.kind = TokenKind::kPlus;
+        return Status::Ok();
+      case '-':
+        Advance();
+        if (Peek() == '>') {
+          Advance();
+          token.kind = TokenKind::kArrow;
+          return Status::Ok();
+        }
+        // Unary minus on literals is handled by the parser so that
+        // `sal - 500` and `(-500)` both lex unambiguously.
+        token.kind = TokenKind::kMinusSign;
+        return Status::Ok();
+      case '*':
+        Advance();
+        token.kind = TokenKind::kStar;
+        return Status::Ok();
+      case '/':
+        Advance();
+        token.kind = TokenKind::kSlash;
+        return Status::Ok();
+      default:
+        return ErrorHere(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status LexWord(Token& token) {
+    std::string word;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      word.push_back(Advance());
+    }
+    token.kind = IsKeyword(word) ? TokenKind::kKeyword
+                                 : TokenKind::kIdentifier;
+    token.text = std::move(word);
+    return Status::Ok();
+  }
+
+  Status LexNumber(Token& token) {
+    std::string digits;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits.push_back(Advance());
+    }
+    bool is_double = false;
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      digits.push_back(Advance());
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits.push_back(Advance());
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      const char next = Peek(1);
+      const char next2 = Peek(2);
+      if (std::isdigit(static_cast<unsigned char>(next)) ||
+          ((next == '+' || next == '-') &&
+           std::isdigit(static_cast<unsigned char>(next2)))) {
+        is_double = true;
+        digits.push_back(Advance());  // e
+        if (Peek() == '+' || Peek() == '-') digits.push_back(Advance());
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          digits.push_back(Advance());
+        }
+      }
+    }
+    try {
+      if (is_double) {
+        token.kind = TokenKind::kDoubleLiteral;
+        token.double_value = std::stod(digits);
+      } else {
+        token.kind = TokenKind::kIntLiteral;
+        token.int_value = std::stoll(digits);
+      }
+    } catch (const std::exception&) {
+      return ErrorHere("numeric literal out of range: " + digits);
+    }
+    return Status::Ok();
+  }
+
+  Status LexString(Token& token) {
+    Advance();  // opening quote
+    std::string raw;
+    for (;;) {
+      if (AtEnd()) return ErrorHere("unterminated string literal");
+      char c = Advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (AtEnd()) return ErrorHere("unterminated escape in string");
+        raw.push_back('\\');
+        raw.push_back(Advance());
+        continue;
+      }
+      raw.push_back(c);
+    }
+    token.kind = TokenKind::kStringLiteral;
+    token.text = UnescapeString(raw);
+    return Status::Ok();
+  }
+
+  Status LexTime(Token& token) {
+    // '@' followed by (optionally negative) digits is a user-time literal;
+    // a bare '@' is the valid-time separator of historical tuples.
+    if (!std::isdigit(static_cast<unsigned char>(Peek(1))) &&
+        !(Peek(1) == '-' &&
+          std::isdigit(static_cast<unsigned char>(Peek(2))))) {
+      Advance();  // '@'
+      token.kind = TokenKind::kAtSign;
+      return Status::Ok();
+    }
+    Advance();  // '@'
+    bool negative = false;
+    if (Peek() == '-') {
+      negative = true;
+      Advance();
+    }
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return ErrorHere("expected digits after '@'");
+    }
+    std::string digits;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits.push_back(Advance());
+    }
+    try {
+      token.kind = TokenKind::kTimeLiteral;
+      token.int_value = std::stoll((negative ? "-" : "") + digits);
+    } catch (const std::exception&) {
+      return ErrorHere("time literal out of range: @" + digits);
+    }
+    return Status::Ok();
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace ttra::lang

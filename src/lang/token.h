@@ -1,0 +1,66 @@
+#ifndef TTRA_LANG_TOKEN_H_
+#define TTRA_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ttra::lang {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdentifier,   // relation / attribute names (keywords are separate)
+  kKeyword,      // reserved words, lowercase
+  kIntLiteral,   // 42, -7
+  kDoubleLiteral,  // 3.5, -0.25
+  kStringLiteral,  // "text" (unescaped in `text`)
+  kTimeLiteral,    // @123 (user-defined time)
+  kLParen,       // (
+  kRParen,       // )
+  kLBrace,       // {
+  kRBrace,       // }
+  kLBracket,     // [
+  kRBracket,     // ]
+  kComma,        // ,
+  kSemicolon,    // ;
+  kColon,        // :
+  kAtSign,       // @ (valid-time separator in historical tuples)
+  kArrow,        // ->
+  kEq,           // =
+  kNe,           // !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kPlus,         // +
+  kMinusSign,    // -
+  kStar,         // *
+  kSlash,        // /
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier/keyword/string payload
+  int64_t int_value = 0;  // kIntLiteral / kTimeLiteral
+  double double_value = 0.0;  // kDoubleLiteral
+  size_t line = 1;
+  size_t column = 1;
+
+  std::string Describe() const;
+};
+
+/// True for the language's reserved words (operator names, relation types,
+/// command names, literals). Reserved words cannot be identifiers.
+bool IsKeyword(std::string_view word);
+
+/// Tokenizes a program. `--` starts a comment to end of line.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace ttra::lang
+
+#endif  // TTRA_LANG_TOKEN_H_

@@ -1,0 +1,257 @@
+#include "optimizer/rewriter.h"
+
+#include <algorithm>
+
+namespace ttra::optimizer {
+
+namespace {
+
+using lang::Analyze;
+using lang::BinaryOp;
+using lang::Catalog;
+using lang::Expr;
+using lang::ExprType;
+using lang::StateKind;
+
+bool Covers(const Schema& schema, const std::set<std::string>& names) {
+  return std::all_of(names.begin(), names.end(), [&schema](const auto& n) {
+    return schema.IndexOf(n).has_value();
+  });
+}
+
+}  // namespace
+
+Predicate SimplifyPredicate(const Predicate& p) {
+  switch (p.kind()) {
+    case Predicate::Kind::kConst:
+    case Predicate::Kind::kComparison:
+      return p;
+    case Predicate::Kind::kAnd: {
+      Predicate l = SimplifyPredicate(p.left());
+      Predicate r = SimplifyPredicate(p.right());
+      if (l.IsFalseLiteral() || r.IsFalseLiteral()) return Predicate::False();
+      if (l.IsTrueLiteral()) return r;
+      if (r.IsTrueLiteral()) return l;
+      return Predicate::And(std::move(l), std::move(r));
+    }
+    case Predicate::Kind::kOr: {
+      Predicate l = SimplifyPredicate(p.left());
+      Predicate r = SimplifyPredicate(p.right());
+      if (l.IsTrueLiteral() || r.IsTrueLiteral()) return Predicate::True();
+      if (l.IsFalseLiteral()) return r;
+      if (r.IsFalseLiteral()) return l;
+      return Predicate::Or(std::move(l), std::move(r));
+    }
+    case Predicate::Kind::kNot: {
+      Predicate inner = SimplifyPredicate(p.left());
+      if (inner.IsTrueLiteral()) return Predicate::False();
+      if (inner.IsFalseLiteral()) return Predicate::True();
+      if (inner.kind() == Predicate::Kind::kNot) return inner.left();
+      return Predicate::Not(std::move(inner));
+    }
+  }
+  return p;
+}
+
+std::vector<Predicate> SplitConjuncts(const Predicate& p) {
+  if (p.kind() == Predicate::Kind::kAnd) {
+    std::vector<Predicate> conjuncts = SplitConjuncts(p.left());
+    std::vector<Predicate> right = SplitConjuncts(p.right());
+    conjuncts.insert(conjuncts.end(), right.begin(), right.end());
+    return conjuncts;
+  }
+  return {p};
+}
+
+Predicate AndAll(const std::vector<Predicate>& conjuncts) {
+  if (conjuncts.empty()) return Predicate::True();
+  Predicate result = conjuncts.front();
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    result = Predicate::And(std::move(result), conjuncts[i]);
+  }
+  return result;
+}
+
+namespace {
+
+class Rewriter {
+ public:
+  explicit Rewriter(const Catalog& catalog) : catalog_(catalog) {}
+
+  Expr Rewrite(const Expr& expr) {
+    // Bottom-up, then local rules at this node to a (bounded) fixpoint.
+    Expr node = RewriteChildren(expr);
+    for (int i = 0; i < 8; ++i) {
+      auto rewritten = ApplyLocal(node);
+      if (!rewritten.has_value()) break;
+      ++applications_;
+      node = RewriteChildren(*rewritten);
+    }
+    return node;
+  }
+
+  int applications() const { return applications_; }
+
+ private:
+  Expr RewriteChildren(const Expr& expr) {
+    switch (expr.kind()) {
+      case Expr::Kind::kConst:
+      case Expr::Kind::kRollback:
+        return expr;
+      case Expr::Kind::kBinary:
+        return Expr::Binary(expr.op(), Rewrite(expr.left()),
+                            Rewrite(expr.right()));
+      case Expr::Kind::kProject:
+        return Expr::Project(expr.attributes(), Rewrite(expr.left()));
+      case Expr::Kind::kSelect:
+        return Expr::Select(expr.predicate(), Rewrite(expr.left()));
+      case Expr::Kind::kRename:
+        return Expr::Rename(expr.rename_from(), expr.rename_to(),
+                            Rewrite(expr.left()));
+      case Expr::Kind::kExtend:
+        return Expr::Extend(expr.definitions(), Rewrite(expr.left()));
+      case Expr::Kind::kDelta:
+        return Expr::Delta(expr.temporal_pred(), expr.temporal_projection(),
+                           Rewrite(expr.left()));
+      case Expr::Kind::kSummarize:
+        return Expr::Summarize(expr.group_attrs(), expr.aggregates(),
+                               Rewrite(expr.left()));
+    }
+    return expr;
+  }
+
+  /// One local rewrite at the root of `expr`, or nullopt if none applies.
+  std::optional<Expr> ApplyLocal(const Expr& expr) {
+    switch (expr.kind()) {
+      case Expr::Kind::kSelect:
+        return RewriteSelect(expr);
+      case Expr::Kind::kProject:
+        return RewriteProject(expr);
+      case Expr::Kind::kDelta:
+        if (expr.temporal_pred().IsTrueLiteral() &&
+            expr.temporal_projection().IsIdentity()) {
+          return expr.left();
+        }
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Expr> RewriteSelect(const Expr& expr) {
+    Predicate pred = SimplifyPredicate(expr.predicate());
+    const Expr child = expr.left();
+
+    // σ_true(E) → E.
+    if (pred.IsTrueLiteral()) return child;
+
+    // σ_false(E) → empty constant of E's scheme (needs a typeable child).
+    if (pred.IsFalseLiteral()) {
+      auto type = Analyze(child, catalog_);
+      if (type.ok()) {
+        if (type->kind == StateKind::kSnapshot) {
+          return Expr::Const(SnapshotState::Empty(type->schema));
+        }
+        return Expr::Const(HistoricalState::Empty(type->schema));
+      }
+      return std::nullopt;
+    }
+
+    // Simplification changed the predicate? Re-anchor and continue.
+    if (!(pred == expr.predicate())) {
+      return Expr::Select(std::move(pred), child);
+    }
+
+    switch (child.kind()) {
+      case Expr::Kind::kSelect:
+        // σ-merge.
+        return Expr::Select(Predicate::And(pred, child.predicate()),
+                            child.left());
+      case Expr::Kind::kBinary:
+        switch (child.op()) {
+          case BinaryOp::kUnion:
+          case BinaryOp::kMinus:
+            // σ distributes over ∪ and −.
+            return Expr::Binary(child.op(),
+                                Expr::Select(pred, child.left()),
+                                Expr::Select(pred, child.right()));
+          case BinaryOp::kTimes:
+            return PushSelectThroughProduct(pred, child);
+          default:
+            return std::nullopt;
+        }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Expr> PushSelectThroughProduct(const Predicate& pred,
+                                               const Expr& product) {
+    auto lhs_type = Analyze(product.left(), catalog_);
+    auto rhs_type = Analyze(product.right(), catalog_);
+    if (!lhs_type.ok() || !rhs_type.ok()) return std::nullopt;
+
+    std::vector<Predicate> lhs_conj, rhs_conj, mixed;
+    for (const Predicate& conjunct : SplitConjuncts(pred)) {
+      const std::set<std::string> names = conjunct.AttributeNames();
+      if (Covers(lhs_type->schema, names)) {
+        lhs_conj.push_back(conjunct);
+      } else if (Covers(rhs_type->schema, names)) {
+        rhs_conj.push_back(conjunct);
+      } else {
+        mixed.push_back(conjunct);
+      }
+    }
+    if (lhs_conj.empty() && rhs_conj.empty()) return std::nullopt;
+
+    Expr lhs = lhs_conj.empty()
+                   ? product.left()
+                   : Expr::Select(AndAll(lhs_conj), product.left());
+    Expr rhs = rhs_conj.empty()
+                   ? product.right()
+                   : Expr::Select(AndAll(rhs_conj), product.right());
+    Expr pushed = Expr::Binary(BinaryOp::kTimes, std::move(lhs),
+                               std::move(rhs));
+    if (mixed.empty()) return pushed;
+    return Expr::Select(AndAll(mixed), std::move(pushed));
+  }
+
+  std::optional<Expr> RewriteProject(const Expr& expr) {
+    const Expr child = expr.left();
+    if (child.kind() == Expr::Kind::kProject) {
+      // π-absorb: the outer list is necessarily a subset of the inner one
+      // in well-typed expressions.
+      return Expr::Project(expr.attributes(), child.left());
+    }
+    // π over the full scheme is the identity.
+    auto type = Analyze(child, catalog_);
+    if (type.ok() && expr.attributes() == type->schema.Names()) {
+      return child;
+    }
+    return std::nullopt;
+  }
+
+  const Catalog& catalog_;
+  int applications_ = 0;
+};
+
+}  // namespace
+
+lang::Expr Optimize(const lang::Expr& expr, const lang::Catalog& catalog,
+                    RewriteStats* stats) {
+  Rewriter rewriter(catalog);
+  Expr current = expr;
+  int passes = 0;
+  for (; passes < 8; ++passes) {
+    Expr next = rewriter.Rewrite(current);
+    if (next == current) break;
+    current = std::move(next);
+  }
+  if (stats != nullptr) {
+    stats->passes = passes;
+    stats->applications = rewriter.applications();
+  }
+  return current;
+}
+
+}  // namespace ttra::optimizer

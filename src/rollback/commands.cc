@@ -1,0 +1,41 @@
+#include "rollback/commands.h"
+
+namespace ttra {
+
+Status ApplyCommand(Database& db, const Command& command) {
+  return std::visit(
+      [&db](const auto& cmd) -> Status {
+        using T = std::decay_t<decltype(cmd)>;
+        if constexpr (std::is_same_v<T, DefineRelationCmd>) {
+          return db.DefineRelation(cmd.name, cmd.type, cmd.schema);
+        } else if constexpr (std::is_same_v<T, ModifySnapshotCmd>) {
+          return db.ModifyState(cmd.name, cmd.state);
+        } else if constexpr (std::is_same_v<T, ModifyHistoricalCmd>) {
+          return db.ModifyState(cmd.name, cmd.state);
+        } else if constexpr (std::is_same_v<T, DeleteRelationCmd>) {
+          return db.DeleteRelation(cmd.name);
+        } else {
+          static_assert(std::is_same_v<T, ModifySchemaCmd>);
+          return db.ModifySchema(cmd.name, cmd.schema);
+        }
+      },
+      command);
+}
+
+Status ApplySentence(Database& db, const std::vector<Command>& sentence) {
+  Status first_error;
+  for (const Command& command : sentence) {
+    Status status = ApplyCommand(db, command);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+Result<Database> EvalSentence(const std::vector<Command>& sentence,
+                              DatabaseOptions options) {
+  Database db(options);
+  TTRA_RETURN_IF_ERROR(ApplySentence(db, sentence));
+  return db;
+}
+
+}  // namespace ttra

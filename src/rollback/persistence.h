@@ -1,0 +1,36 @@
+#ifndef TTRA_ROLLBACK_PERSISTENCE_H_
+#define TTRA_ROLLBACK_PERSISTENCE_H_
+
+#include <string>
+
+#include "rollback/database.h"
+
+namespace ttra {
+
+/// Whole-database persistence: every relation's type, scheme history, and
+/// complete logical state sequence, plus the database's transaction
+/// counter, in one checksummed frame. The storage engine is *not* part of
+/// the format — it is an implementation choice, so a database saved from
+/// a delta-engine process can be loaded into a checkpoint-engine one (the
+/// paper's point that the semantics defines the information content, and
+/// engines merely realize it).
+
+/// Serializes the database to bytes.
+std::string EncodeDatabase(const Database& db);
+
+/// Rebuilds a database from EncodeDatabase output. Relations are stored
+/// with the engines configured by `options`. Any corruption (bad magic,
+/// checksum, truncation, invalid payload) yields kCorruption.
+Result<Database> DecodeDatabase(std::string_view data,
+                                DatabaseOptions options = {});
+
+/// Writes EncodeDatabase output to a file (atomically via rename).
+Status SaveDatabase(const Database& db, const std::string& path);
+
+/// Reads and decodes a database file.
+Result<Database> LoadDatabase(const std::string& path,
+                              DatabaseOptions options = {});
+
+}  // namespace ttra
+
+#endif  // TTRA_ROLLBACK_PERSISTENCE_H_

@@ -1,0 +1,41 @@
+#ifndef TTRA_ROLLBACK_VACUUM_H_
+#define TTRA_ROLLBACK_VACUUM_H_
+
+#include <string>
+
+#include "rollback/database.h"
+
+namespace ttra {
+
+/// Archival ("migrate rollback relations to tape", paper §3.1 note): the
+/// states of a rollback or temporal relation recorded strictly before a
+/// cutoff transaction are split off into a checksummed archive blob and
+/// removed from the online relation. The online relation keeps every
+/// state at or after the cutoff; FINDSTATE for older transactions then
+/// reports the relation as empty at that time (exactly as if the history
+/// started at the cutoff), until the archive is re-attached.
+
+struct VacuumResult {
+  /// Serialized archive of the removed prefix (empty when nothing was cut).
+  std::string archive;
+  /// Number of states moved into the archive.
+  size_t archived_states = 0;
+};
+
+/// Cuts the states of `name` with transaction number < `before_txn` into
+/// an archive. Requires a rollback or temporal relation. The database's
+/// transaction counter is incremented (vacuuming is a change to what the
+/// database stores, so it is itself a transaction).
+Result<VacuumResult> VacuumRelation(Database& db, const std::string& name,
+                                    TransactionNumber before_txn);
+
+/// Re-attaches an archive produced by VacuumRelation to the same relation:
+/// the archived prefix is merged back in front of the online states. The
+/// archive's last transaction must precede the online relation's first.
+/// Increments the transaction counter.
+Status AttachArchive(Database& db, const std::string& name,
+                     std::string_view archive);
+
+}  // namespace ttra
+
+#endif  // TTRA_ROLLBACK_VACUUM_H_

@@ -1,0 +1,49 @@
+#ifndef TTRA_SNAPSHOT_AGGREGATE_H_
+#define TTRA_SNAPSHOT_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "snapshot/state.h"
+#include "util/result.h"
+
+namespace ttra {
+
+/// Aggregate functions (the Quel aggregate vocabulary). `count` takes no
+/// attribute; the others aggregate one attribute.
+enum class AggFunc : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+std::string_view AggFuncName(AggFunc func);
+Result<AggFunc> ParseAggFunc(std::string_view name);
+
+/// One output column of a summarize: `name = func(attr)`.
+struct AggregateDef {
+  std::string name;
+  AggFunc func = AggFunc::kCount;
+  std::string attr;  // empty for count
+
+  friend bool operator==(const AggregateDef&, const AggregateDef&) = default;
+};
+
+/// Result type of `func` applied to an attribute of type `input` —
+/// count → int, sum preserves int/double, avg → double, min/max preserve
+/// any totally-ordered type. Errors on non-aggregatable combinations.
+Result<ValueType> AggResultType(AggFunc func, ValueType input);
+
+/// Derives the summarize result scheme: the group attributes (in the
+/// given order) followed by one column per aggregate definition.
+Result<Schema> AggregateSchema(const Schema& input,
+                               const std::vector<std::string>& group_attrs,
+                               const std::vector<AggregateDef>& aggregates);
+
+/// Groups the state's tuples by `group_attrs` and computes the aggregate
+/// columns per group. A state with no tuples yields no groups (also for
+/// the empty group list); this keeps the operator snapshot-reducible when
+/// lifted to historical states.
+Result<SnapshotState> Aggregate(const SnapshotState& state,
+                                const std::vector<std::string>& group_attrs,
+                                const std::vector<AggregateDef>& aggregates);
+
+}  // namespace ttra
+
+#endif  // TTRA_SNAPSHOT_AGGREGATE_H_

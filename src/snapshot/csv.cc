@@ -1,0 +1,205 @@
+#include "snapshot/csv.h"
+
+#include <cctype>
+
+namespace ttra {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  if (field.empty()) return true;  // distinguish "" from a missing value
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string_view field, bool force_quotes,
+                 std::string& out) {
+  if (!force_quotes && !NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';  // RFC 4180: doubled quote
+    out += c;
+  }
+  out += '"';
+}
+
+void AppendValue(const Value& value, std::string& out) {
+  switch (value.type()) {
+    case ValueType::kInt:
+      out += std::to_string(value.AsInt());
+      break;
+    case ValueType::kDouble: {
+      // Reuse the language literal (guaranteed to re-parse as double).
+      out += value.ToString();
+      break;
+    }
+    case ValueType::kString:
+      // Always quote strings so "42" round-trips as a string visually.
+      AppendField(value.AsString(), /*force_quotes=*/true, out);
+      break;
+    case ValueType::kBool:
+      out += value.AsBool() ? "true" : "false";
+      break;
+    case ValueType::kUserTime:
+      out += "@" + std::to_string(value.AsTime().ticks);
+      break;
+  }
+}
+
+/// Splits one CSV record (no trailing newline) into fields.
+Result<std::vector<std::string>> SplitRecord(std::string_view line,
+                                             size_t line_no) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return ParseError("unterminated quote in CSV line " +
+                      std::to_string(line_no));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Value> ParseField(const std::string& field, ValueType type,
+                         size_t line_no) {
+  auto fail = [&](std::string_view what) {
+    return ParseError("CSV line " + std::to_string(line_no) + ": '" + field +
+                      "' is not a valid " + std::string(what));
+  };
+  try {
+    switch (type) {
+      case ValueType::kInt: {
+        size_t used = 0;
+        const int64_t v = std::stoll(field, &used);
+        if (used != field.size()) return fail("int");
+        return Value::Int(v);
+      }
+      case ValueType::kDouble: {
+        size_t used = 0;
+        const double v = std::stod(field, &used);
+        if (used != field.size()) return fail("double");
+        return Value::Double(v);
+      }
+      case ValueType::kString:
+        return Value::String(field);
+      case ValueType::kBool:
+        if (field == "true") return Value::Bool(true);
+        if (field == "false") return Value::Bool(false);
+        return fail("bool");
+      case ValueType::kUserTime: {
+        if (field.empty() || field[0] != '@') return fail("usertime");
+        size_t used = 0;
+        const int64_t v = std::stoll(field.substr(1), &used);
+        if (used != field.size() - 1) return fail("usertime");
+        return Value::Time(v);
+      }
+    }
+  } catch (const std::exception&) {
+    return fail(ValueTypeName(type));
+  }
+  return InternalError("unhandled value type in CSV parse");
+}
+
+}  // namespace
+
+std::string ToCsv(const SnapshotState& state) {
+  std::string out;
+  const Schema& schema = state.schema();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendField(schema.attribute(i).name, /*force_quotes=*/false, out);
+  }
+  out += '\n';
+  for (const Tuple& tuple : state.tuples()) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendValue(tuple.at(i), out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<SnapshotState> FromCsv(const Schema& schema, std::string_view csv) {
+  // Split into records with quote awareness: newlines inside quoted
+  // fields (RFC 4180) do not terminate a record.
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  bool in_quotes = false;
+  for (size_t i = 0; i <= csv.size(); ++i) {
+    if (i < csv.size() && csv[i] == '"') in_quotes = !in_quotes;
+    if (i == csv.size() || (csv[i] == '\n' && !in_quotes)) {
+      std::string_view line = csv.substr(start, i - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (!line.empty()) lines.push_back(line);
+      start = i + 1;
+    }
+  }
+  if (lines.empty()) return ParseError("CSV input has no header row");
+
+  TTRA_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                        SplitRecord(lines[0], 1));
+  if (header.size() != schema.size()) {
+    return SchemaMismatchError(
+        "CSV header has " + std::to_string(header.size()) +
+        " column(s); schema expects " + std::to_string(schema.size()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] != schema.attribute(i).name) {
+      return SchemaMismatchError("CSV column '" + header[i] +
+                                 "' does not match schema attribute '" +
+                                 schema.attribute(i).name + "'");
+    }
+  }
+
+  std::vector<Tuple> tuples;
+  tuples.reserve(lines.size() - 1);
+  for (size_t l = 1; l < lines.size(); ++l) {
+    TTRA_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          SplitRecord(lines[l], l + 1));
+    if (fields.size() != schema.size()) {
+      return SchemaMismatchError("CSV line " + std::to_string(l + 1) +
+                                 " has " + std::to_string(fields.size()) +
+                                 " field(s); expected " +
+                                 std::to_string(schema.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      TTRA_ASSIGN_OR_RETURN(
+          Value v, ParseField(fields[i], schema.attribute(i).type, l + 1));
+      values.push_back(std::move(v));
+    }
+    tuples.emplace_back(std::move(values));
+  }
+  return SnapshotState::Make(schema, std::move(tuples));
+}
+
+}  // namespace ttra

@@ -1,0 +1,29 @@
+#ifndef TTRA_SNAPSHOT_CSV_H_
+#define TTRA_SNAPSHOT_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "snapshot/state.h"
+#include "util/result.h"
+
+namespace ttra {
+
+/// CSV interop for snapshot states (RFC-4180 style quoting).
+///
+/// The header row carries the attribute names; values are rendered per
+/// type: integers and doubles as plain numbers, bools as true/false,
+/// user-defined time as @ticks, strings quoted whenever they contain a
+/// comma, quote, newline, or look like another literal form.
+
+/// Renders the state as CSV, header first, tuples in canonical order.
+std::string ToCsv(const SnapshotState& state);
+
+/// Parses CSV produced by ToCsv (or any conforming file) into a state
+/// over `schema`. The header row must name exactly the schema's
+/// attributes, in order. Value parsing follows the attribute types.
+Result<SnapshotState> FromCsv(const Schema& schema, std::string_view csv);
+
+}  // namespace ttra
+
+#endif  // TTRA_SNAPSHOT_CSV_H_

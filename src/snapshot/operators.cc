@@ -1,0 +1,157 @@
+#include "snapshot/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace ttra::snapshot_ops {
+
+namespace {
+
+Status RequireUnionCompatible(const SnapshotState& lhs,
+                              const SnapshotState& rhs,
+                              std::string_view op_name) {
+  if (lhs.schema() != rhs.schema()) {
+    return SchemaMismatchError(std::string(op_name) +
+                               " requires identical schemas; got " +
+                               lhs.schema().ToString() + " vs " +
+                               rhs.schema().ToString());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SnapshotState> Union(const SnapshotState& lhs,
+                            const SnapshotState& rhs) {
+  TTRA_RETURN_IF_ERROR(RequireUnionCompatible(lhs, rhs, "union"));
+  std::vector<Tuple> merged;
+  merged.reserve(lhs.size() + rhs.size());
+  std::merge(lhs.tuples().begin(), lhs.tuples().end(), rhs.tuples().begin(),
+             rhs.tuples().end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return SnapshotState::Make(lhs.schema(), std::move(merged));
+}
+
+Result<SnapshotState> Difference(const SnapshotState& lhs,
+                                 const SnapshotState& rhs) {
+  TTRA_RETURN_IF_ERROR(RequireUnionCompatible(lhs, rhs, "difference"));
+  std::vector<Tuple> remaining;
+  std::set_difference(lhs.tuples().begin(), lhs.tuples().end(),
+                      rhs.tuples().begin(), rhs.tuples().end(),
+                      std::back_inserter(remaining));
+  return SnapshotState::Make(lhs.schema(), std::move(remaining));
+}
+
+Result<SnapshotState> Product(const SnapshotState& lhs,
+                              const SnapshotState& rhs) {
+  TTRA_ASSIGN_OR_RETURN(Schema schema, lhs.schema().Concat(rhs.schema()));
+  std::vector<Tuple> combined;
+  combined.reserve(lhs.size() * rhs.size());
+  for (const Tuple& a : lhs.tuples()) {
+    for (const Tuple& b : rhs.tuples()) {
+      std::vector<Value> values = a.values();
+      values.insert(values.end(), b.values().begin(), b.values().end());
+      combined.emplace_back(std::move(values));
+    }
+  }
+  return SnapshotState::Make(std::move(schema), std::move(combined));
+}
+
+Result<SnapshotState> Project(const SnapshotState& state,
+                              const std::vector<std::string>& attributes) {
+  TTRA_ASSIGN_OR_RETURN(Schema schema, state.schema().Project(attributes));
+  std::vector<size_t> indices;
+  indices.reserve(attributes.size());
+  for (const std::string& name : attributes) {
+    indices.push_back(*state.schema().IndexOf(name));
+  }
+  std::vector<Tuple> projected;
+  projected.reserve(state.size());
+  for (const Tuple& tuple : state.tuples()) {
+    std::vector<Value> values;
+    values.reserve(indices.size());
+    for (size_t i : indices) values.push_back(tuple.at(i));
+    projected.emplace_back(std::move(values));
+  }
+  return SnapshotState::Make(std::move(schema), std::move(projected));
+}
+
+Result<SnapshotState> Select(const SnapshotState& state,
+                             const Predicate& predicate) {
+  TTRA_RETURN_IF_ERROR(predicate.Validate(state.schema()));
+  std::vector<Tuple> selected;
+  for (const Tuple& tuple : state.tuples()) {
+    TTRA_ASSIGN_OR_RETURN(bool keep, predicate.Eval(state.schema(), tuple));
+    if (keep) selected.push_back(tuple);
+  }
+  return SnapshotState::Make(state.schema(), std::move(selected));
+}
+
+Result<SnapshotState> Intersect(const SnapshotState& lhs,
+                                const SnapshotState& rhs) {
+  TTRA_RETURN_IF_ERROR(RequireUnionCompatible(lhs, rhs, "intersect"));
+  std::vector<Tuple> shared;
+  std::set_intersection(lhs.tuples().begin(), lhs.tuples().end(),
+                        rhs.tuples().begin(), rhs.tuples().end(),
+                        std::back_inserter(shared));
+  return SnapshotState::Make(lhs.schema(), std::move(shared));
+}
+
+Result<SnapshotState> ThetaJoin(const SnapshotState& lhs,
+                                const SnapshotState& rhs,
+                                const Predicate& predicate) {
+  TTRA_ASSIGN_OR_RETURN(SnapshotState product, Product(lhs, rhs));
+  return Select(product, predicate);
+}
+
+Result<SnapshotState> NaturalJoin(const SnapshotState& lhs,
+                                  const SnapshotState& rhs) {
+  // Shared attributes join positionally by name; result schema is lhs's
+  // schema followed by rhs's non-shared attributes, as in Maier.
+  std::vector<std::pair<size_t, size_t>> shared;  // (lhs index, rhs index)
+  std::vector<size_t> rhs_only;
+  for (size_t j = 0; j < rhs.schema().size(); ++j) {
+    const Attribute& attr = rhs.schema().attribute(j);
+    auto i = lhs.schema().IndexOf(attr.name);
+    if (i.has_value()) {
+      if (lhs.schema().attribute(*i).type != attr.type) {
+        return SchemaMismatchError("natural join attribute '" + attr.name +
+                                   "' has mismatched types");
+      }
+      shared.emplace_back(*i, j);
+    } else {
+      rhs_only.push_back(j);
+    }
+  }
+  std::vector<Attribute> result_attrs = lhs.schema().attributes();
+  for (size_t j : rhs_only) result_attrs.push_back(rhs.schema().attribute(j));
+  TTRA_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(result_attrs)));
+
+  std::vector<Tuple> joined;
+  for (const Tuple& a : lhs.tuples()) {
+    for (const Tuple& b : rhs.tuples()) {
+      bool match = true;
+      for (const auto& [i, j] : shared) {
+        if (!(a.at(i) == b.at(j))) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<Value> values = a.values();
+      for (size_t j : rhs_only) values.push_back(b.at(j));
+      joined.emplace_back(std::move(values));
+    }
+  }
+  return SnapshotState::Make(std::move(schema), std::move(joined));
+}
+
+Result<SnapshotState> Rename(const SnapshotState& state, std::string_view from,
+                             std::string_view to) {
+  TTRA_ASSIGN_OR_RETURN(Schema schema, state.schema().Rename(from, to));
+  return SnapshotState::Make(std::move(schema), state.tuples());
+}
+
+}  // namespace ttra::snapshot_ops

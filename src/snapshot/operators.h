@@ -1,0 +1,60 @@
+#ifndef TTRA_SNAPSHOT_OPERATORS_H_
+#define TTRA_SNAPSHOT_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "snapshot/predicate.h"
+#include "snapshot/state.h"
+#include "util/result.h"
+
+namespace ttra::snapshot_ops {
+
+/// The five operators that define the snapshot algebra (paper §3.1), with
+/// Maier's set semantics, plus the standard derived operators. All are
+/// pure: they never modify their operands, mirroring the side-effect-free
+/// semantic function E.
+
+/// E1 ∪ E2. Operand schemas must be identical (union compatibility).
+Result<SnapshotState> Union(const SnapshotState& lhs,
+                            const SnapshotState& rhs);
+
+/// E1 − E2. Operand schemas must be identical.
+Result<SnapshotState> Difference(const SnapshotState& lhs,
+                                 const SnapshotState& rhs);
+
+/// E1 × E2. Attribute names must be disjoint (rename first otherwise).
+Result<SnapshotState> Product(const SnapshotState& lhs,
+                              const SnapshotState& rhs);
+
+/// π_X(E). Projects onto the named attributes, eliminating duplicates.
+Result<SnapshotState> Project(const SnapshotState& state,
+                              const std::vector<std::string>& attributes);
+
+/// σ_F(E). Keeps the tuples satisfying F.
+Result<SnapshotState> Select(const SnapshotState& state,
+                             const Predicate& predicate);
+
+// ---- Derived operators (definable from the five primitives; provided ----
+// ---- directly for convenience and efficiency).                       ----
+
+/// E1 ∩ E2 = E1 − (E1 − E2).
+Result<SnapshotState> Intersect(const SnapshotState& lhs,
+                                const SnapshotState& rhs);
+
+/// σ_F(E1 × E2); names must be disjoint.
+Result<SnapshotState> ThetaJoin(const SnapshotState& lhs,
+                                const SnapshotState& rhs,
+                                const Predicate& predicate);
+
+/// Equijoin on all shared attribute names; shared attributes appear once.
+Result<SnapshotState> NaturalJoin(const SnapshotState& lhs,
+                                  const SnapshotState& rhs);
+
+/// Renames one attribute.
+Result<SnapshotState> Rename(const SnapshotState& state, std::string_view from,
+                             std::string_view to);
+
+}  // namespace ttra::snapshot_ops
+
+#endif  // TTRA_SNAPSHOT_OPERATORS_H_

@@ -1,0 +1,340 @@
+#include "snapshot/predicate.h"
+
+#include <cassert>
+
+namespace ttra {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Operand Operand::Attr(std::string name) {
+  Operand o;
+  o.is_attr_ = true;
+  o.name_ = std::move(name);
+  return o;
+}
+
+Operand Operand::Const(Value value) {
+  Operand o;
+  o.is_attr_ = false;
+  o.value_ = std::move(value);
+  return o;
+}
+
+Result<Value> Operand::Resolve(const Schema& schema,
+                               const Tuple& tuple) const {
+  if (!is_attr_) return value_;
+  auto index = schema.IndexOf(name_);
+  if (!index.has_value()) {
+    return SchemaMismatchError("predicate references unknown attribute: " +
+                               name_);
+  }
+  return tuple.at(*index);
+}
+
+Result<ValueType> Operand::TypeIn(const Schema& schema) const {
+  if (!is_attr_) return value_.type();
+  auto index = schema.IndexOf(name_);
+  if (!index.has_value()) {
+    return SchemaMismatchError("predicate references unknown attribute: " +
+                               name_);
+  }
+  return schema.attribute(*index).type;
+}
+
+std::string Operand::ToString() const {
+  return is_attr_ ? name_ : value_.ToString();
+}
+
+struct Predicate::Node {
+  Kind kind;
+  // kConst
+  bool const_value = false;
+  // kComparison
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+  // kAnd / kOr / kNot
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+Predicate::Predicate(std::shared_ptr<const Node> node)
+    : node_(std::move(node)) {}
+
+Predicate::Predicate() : Predicate(True()) {}
+
+Predicate Predicate::True() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kConst;
+  node->const_value = true;
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::False() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kConst;
+  node->const_value = false;
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::Comparison(Operand lhs, CompareOp op, Operand rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kComparison;
+  node->lhs = std::move(lhs);
+  node->op = op;
+  node->rhs = std::move(rhs);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::And(Predicate lhs, Predicate rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->left = std::move(lhs.node_);
+  node->right = std::move(rhs.node_);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::Or(Predicate lhs, Predicate rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->left = std::move(lhs.node_);
+  node->right = std::move(rhs.node_);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::Not(Predicate operand) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->left = std::move(operand.node_);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::AttrCompare(std::string attr, CompareOp op,
+                                 Value constant) {
+  return Comparison(Operand::Attr(std::move(attr)), op,
+                    Operand::Const(std::move(constant)));
+}
+
+namespace {
+
+bool ApplyCompare(CompareOp op, int cmp, bool equal) {
+  switch (op) {
+    case CompareOp::kEq:
+      return equal;
+    case CompareOp::kNe:
+      return !equal;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> Predicate::Eval(const Schema& schema, const Tuple& tuple) const {
+  switch (node_->kind) {
+    case Kind::kConst:
+      return node_->const_value;
+    case Kind::kComparison: {
+      TTRA_ASSIGN_OR_RETURN(Value a, node_->lhs.Resolve(schema, tuple));
+      TTRA_ASSIGN_OR_RETURN(Value b, node_->rhs.Resolve(schema, tuple));
+      TTRA_ASSIGN_OR_RETURN(int cmp, Value::Compare(a, b));
+      return ApplyCompare(node_->op, cmp, cmp == 0);
+    }
+    case Kind::kAnd: {
+      TTRA_ASSIGN_OR_RETURN(bool a, Predicate(node_->left).Eval(schema, tuple));
+      if (!a) return false;
+      return Predicate(node_->right).Eval(schema, tuple);
+    }
+    case Kind::kOr: {
+      TTRA_ASSIGN_OR_RETURN(bool a, Predicate(node_->left).Eval(schema, tuple));
+      if (a) return true;
+      return Predicate(node_->right).Eval(schema, tuple);
+    }
+    case Kind::kNot: {
+      TTRA_ASSIGN_OR_RETURN(bool a, Predicate(node_->left).Eval(schema, tuple));
+      return !a;
+    }
+  }
+  return InternalError("unhandled predicate kind");
+}
+
+Status Predicate::Validate(const Schema& schema) const {
+  switch (node_->kind) {
+    case Kind::kConst:
+      return Status::Ok();
+    case Kind::kComparison: {
+      auto lhs_type = node_->lhs.TypeIn(schema);
+      if (!lhs_type.ok()) return lhs_type.status();
+      auto rhs_type = node_->rhs.TypeIn(schema);
+      if (!rhs_type.ok()) return rhs_type.status();
+      const bool lhs_num = *lhs_type == ValueType::kInt ||
+                           *lhs_type == ValueType::kDouble;
+      const bool rhs_num = *rhs_type == ValueType::kInt ||
+                           *rhs_type == ValueType::kDouble;
+      if (*lhs_type != *rhs_type && !(lhs_num && rhs_num)) {
+        return TypeMismatchError(
+            "comparison between " + std::string(ValueTypeName(*lhs_type)) +
+            " and " + std::string(ValueTypeName(*rhs_type)) + " in " +
+            ToString());
+      }
+      return Status::Ok();
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      TTRA_RETURN_IF_ERROR(Predicate(node_->left).Validate(schema));
+      return Predicate(node_->right).Validate(schema);
+    }
+    case Kind::kNot:
+      return Predicate(node_->left).Validate(schema);
+  }
+  return InternalError("unhandled predicate kind");
+}
+
+std::set<std::string> Predicate::AttributeNames() const {
+  std::set<std::string> names;
+  switch (node_->kind) {
+    case Kind::kConst:
+      break;
+    case Kind::kComparison:
+      if (node_->lhs.is_attr()) names.insert(node_->lhs.attr_name());
+      if (node_->rhs.is_attr()) names.insert(node_->rhs.attr_name());
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      names = Predicate(node_->left).AttributeNames();
+      auto right = Predicate(node_->right).AttributeNames();
+      names.insert(right.begin(), right.end());
+      break;
+    }
+    case Kind::kNot:
+      names = Predicate(node_->left).AttributeNames();
+      break;
+  }
+  return names;
+}
+
+Predicate Predicate::RenameAttribute(std::string_view from,
+                                     std::string_view to) const {
+  auto rename_operand = [&](const Operand& o) {
+    if (o.is_attr() && o.attr_name() == from) {
+      return Operand::Attr(std::string(to));
+    }
+    return o;
+  };
+  switch (node_->kind) {
+    case Kind::kConst:
+      return *this;
+    case Kind::kComparison:
+      return Comparison(rename_operand(node_->lhs), node_->op,
+                        rename_operand(node_->rhs));
+    case Kind::kAnd:
+      return And(Predicate(node_->left).RenameAttribute(from, to),
+                 Predicate(node_->right).RenameAttribute(from, to));
+    case Kind::kOr:
+      return Or(Predicate(node_->left).RenameAttribute(from, to),
+                Predicate(node_->right).RenameAttribute(from, to));
+    case Kind::kNot:
+      return Not(Predicate(node_->left).RenameAttribute(from, to));
+  }
+  return *this;
+}
+
+bool Predicate::IsTrueLiteral() const {
+  return node_->kind == Kind::kConst && node_->const_value;
+}
+
+bool Predicate::IsFalseLiteral() const {
+  return node_->kind == Kind::kConst && !node_->const_value;
+}
+
+std::string Predicate::ToString() const {
+  switch (node_->kind) {
+    case Kind::kConst:
+      return node_->const_value ? "true" : "false";
+    case Kind::kComparison:
+      return node_->lhs.ToString() + " " +
+             std::string(CompareOpName(node_->op)) + " " +
+             node_->rhs.ToString();
+    case Kind::kAnd:
+      return "(" + Predicate(node_->left).ToString() + " and " +
+             Predicate(node_->right).ToString() + ")";
+    case Kind::kOr:
+      return "(" + Predicate(node_->left).ToString() + " or " +
+             Predicate(node_->right).ToString() + ")";
+    case Kind::kNot:
+      return "not (" + Predicate(node_->left).ToString() + ")";
+  }
+  return "?";
+}
+
+bool operator==(const Predicate& a, const Predicate& b) {
+  if (a.node_ == b.node_) return true;
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Predicate::Kind::kConst:
+      return a.const_value() == b.const_value();
+    case Predicate::Kind::kComparison:
+      return a.lhs() == b.lhs() && a.op() == b.op() && a.rhs() == b.rhs();
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      return a.left() == b.left() && a.right() == b.right();
+    case Predicate::Kind::kNot:
+      return a.left() == b.left();
+  }
+  return false;
+}
+
+Predicate::Kind Predicate::kind() const { return node_->kind; }
+bool Predicate::const_value() const {
+  assert(node_->kind == Kind::kConst);
+  return node_->const_value;
+}
+const Operand& Predicate::lhs() const {
+  assert(node_->kind == Kind::kComparison);
+  return node_->lhs;
+}
+const Operand& Predicate::rhs() const {
+  assert(node_->kind == Kind::kComparison);
+  return node_->rhs;
+}
+CompareOp Predicate::op() const {
+  assert(node_->kind == Kind::kComparison);
+  return node_->op;
+}
+Predicate Predicate::left() const {
+  assert(node_->left != nullptr);
+  return Predicate(node_->left);
+}
+Predicate Predicate::right() const {
+  assert(node_->right != nullptr);
+  return Predicate(node_->right);
+}
+
+std::ostream& operator<<(std::ostream& os, const Predicate& predicate) {
+  return os << predicate.ToString();
+}
+
+}  // namespace ttra

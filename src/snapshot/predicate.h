@@ -1,0 +1,114 @@
+#ifndef TTRA_SNAPSHOT_PREDICATE_H_
+#define TTRA_SNAPSHOT_PREDICATE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snapshot/schema.h"
+#include "snapshot/tuple.h"
+#include "snapshot/value.h"
+#include "util/result.h"
+
+namespace ttra {
+
+/// Comparison operators of the paper's boolean-expression domain 𝓕.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// One side of a comparison: either an attribute reference (an IDENTIFIER
+/// in the paper's domain 𝓕) or a constant value.
+class Operand {
+ public:
+  static Operand Attr(std::string name);
+  static Operand Const(Value value);
+
+  bool is_attr() const { return is_attr_; }
+  const std::string& attr_name() const { return name_; }
+  const Value& constant() const { return value_; }
+
+  /// Resolves the operand against a tuple: the attribute's value, or the
+  /// constant itself. Fails if the attribute is missing from the schema.
+  Result<Value> Resolve(const Schema& schema, const Tuple& tuple) const;
+
+  /// The operand's type under `schema`; fails on a missing attribute.
+  Result<ValueType> TypeIn(const Schema& schema) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Operand&, const Operand&) = default;
+
+ private:
+  bool is_attr_ = false;
+  std::string name_;
+  Value value_;
+};
+
+/// An immutable boolean expression over attribute names and constants —
+/// the selection condition F of σ_F. Cheap to copy (shared tree).
+class Predicate {
+ public:
+  /// Defaults to the constant `true` (σ_true is the identity).
+  Predicate();
+
+  static Predicate True();
+  static Predicate False();
+  static Predicate Comparison(Operand lhs, CompareOp op, Operand rhs);
+  static Predicate And(Predicate lhs, Predicate rhs);
+  static Predicate Or(Predicate lhs, Predicate rhs);
+  static Predicate Not(Predicate operand);
+
+  /// Convenience: attr <op> constant.
+  static Predicate AttrCompare(std::string attr, CompareOp op, Value constant);
+
+  /// Evaluates the predicate on one tuple. Errors on unknown attributes or
+  /// uncomparable types (the "invalid expression" cases the paper defers).
+  Result<bool> Eval(const Schema& schema, const Tuple& tuple) const;
+
+  /// Static validation against a schema; OK iff Eval can never fail.
+  Status Validate(const Schema& schema) const;
+
+  /// Names of all attributes referenced (used by the optimizer's pushdown
+  /// analysis).
+  std::set<std::string> AttributeNames() const;
+
+  /// Structurally replaces attribute name `from` with `to`.
+  Predicate RenameAttribute(std::string_view from, std::string_view to) const;
+
+  /// True if the node is the constant true/false literal.
+  bool IsTrueLiteral() const;
+  bool IsFalseLiteral() const;
+
+  std::string ToString() const;
+
+  /// Structural equality.
+  friend bool operator==(const Predicate& a, const Predicate& b);
+
+  // Node introspection for the optimizer and printer.
+  enum class Kind : uint8_t { kConst, kComparison, kAnd, kOr, kNot };
+  Kind kind() const;
+  /// kConst only.
+  bool const_value() const;
+  /// kComparison only.
+  const Operand& lhs() const;
+  const Operand& rhs() const;
+  CompareOp op() const;
+  /// kAnd/kOr: children; kNot: left child only.
+  Predicate left() const;
+  Predicate right() const;
+
+ private:
+  struct Node;
+  explicit Predicate(std::shared_ptr<const Node> node);
+
+  std::shared_ptr<const Node> node_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Predicate& predicate);
+
+}  // namespace ttra
+
+#endif  // TTRA_SNAPSHOT_PREDICATE_H_

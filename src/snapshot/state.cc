@@ -1,0 +1,48 @@
+#include "snapshot/state.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace ttra {
+
+Result<SnapshotState> SnapshotState::Make(Schema schema,
+                                          std::vector<Tuple> tuples) {
+  for (const Tuple& tuple : tuples) {
+    TTRA_RETURN_IF_ERROR(tuple.ConformsTo(schema));
+  }
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return SnapshotState(std::move(schema), std::move(tuples));
+}
+
+SnapshotState SnapshotState::Empty(Schema schema) {
+  return SnapshotState(std::move(schema), {});
+}
+
+bool SnapshotState::Contains(const Tuple& tuple) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), tuple);
+}
+
+std::string SnapshotState::ToString() const {
+  std::string out = schema_.ToString();
+  out += " {";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuples_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+size_t SnapshotState::Hash() const {
+  size_t seed = schema_.Hash();
+  for (const Tuple& t : tuples_) seed = HashCombine(seed, t.Hash());
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const SnapshotState& state) {
+  return os << state.ToString();
+}
+
+}  // namespace ttra

@@ -1,0 +1,67 @@
+#ifndef TTRA_SNAPSHOT_STATE_H_
+#define TTRA_SNAPSHOT_STATE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "snapshot/schema.h"
+#include "snapshot/tuple.h"
+#include "util/result.h"
+
+namespace ttra {
+
+/// An element of the paper's SNAPSHOT STATE semantic domain: a relation
+/// instance in Maier's sense — a scheme plus a *set* of conforming tuples.
+///
+/// The tuple set is kept canonical (sorted, deduplicated), which makes
+/// state equality a linear scan. Canonical equality is load-bearing: the
+/// delta storage engine diffs states, FINDSTATE tests compare against
+/// oracles, and the property suites assert algebraic identities.
+class SnapshotState {
+ public:
+  /// The empty state over the empty scheme (what FINDSTATE yields for a
+  /// relation with no recorded states).
+  SnapshotState() = default;
+
+  /// Canonicalizes and validates: every tuple must conform to `schema`.
+  static Result<SnapshotState> Make(Schema schema, std::vector<Tuple> tuples);
+
+  /// The empty state over `schema`.
+  static SnapshotState Empty(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  /// Tuples in canonical (sorted) order, no duplicates.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  bool Contains(const Tuple& tuple) const;
+
+  /// Language-literal form: "(a: int, b: string) {(1, "x"), (2, "y")}".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const SnapshotState&, const SnapshotState&) = default;
+
+ private:
+  SnapshotState(Schema schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+std::ostream& operator<<(std::ostream& os, const SnapshotState& state);
+
+}  // namespace ttra
+
+namespace std {
+template <>
+struct hash<ttra::SnapshotState> {
+  size_t operator()(const ttra::SnapshotState& s) const { return s.Hash(); }
+};
+}  // namespace std
+
+#endif  // TTRA_SNAPSHOT_STATE_H_

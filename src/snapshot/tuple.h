@@ -1,0 +1,56 @@
+#ifndef TTRA_SNAPSHOT_TUPLE_H_
+#define TTRA_SNAPSHOT_TUPLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "snapshot/schema.h"
+#include "snapshot/value.h"
+#include "util/result.h"
+
+namespace ttra {
+
+/// An ordered list of attribute values. A tuple is positional; its meaning
+/// is given by the schema of the state that contains it.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  const std::vector<Value>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+
+  /// OK iff arity and per-position value types match the schema.
+  Status ConformsTo(const Schema& schema) const;
+
+  /// "(v1, v2, ...)".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+  /// Canonical lexicographic order (by Value's canonical order).
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& tuple);
+
+}  // namespace ttra
+
+namespace std {
+template <>
+struct hash<ttra::Tuple> {
+  size_t operator()(const ttra::Tuple& t) const { return t.Hash(); }
+};
+}  // namespace std
+
+#endif  // TTRA_SNAPSHOT_TUPLE_H_

@@ -1,0 +1,119 @@
+#include "snapshot/value.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace ttra {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kUserTime:
+      return "usertime";
+  }
+  return "unknown";
+}
+
+Result<ValueType> ParseValueType(std::string_view name) {
+  if (name == "int") return ValueType::kInt;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  if (name == "bool") return ValueType::kBool;
+  if (name == "usertime") return ValueType::kUserTime;
+  return InvalidArgumentError("unknown value type name: " + std::string(name));
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      const double d = AsDouble();
+      os << d;
+      std::string s = os.str();
+      // Ensure the literal round-trips as a double, not an int.
+      if (s.find_first_of(".eE") == std::string::npos &&
+          s.find_first_of("in") == std::string::npos) {  // inf/nan
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString:
+      return "\"" + EscapeString(AsString()) + "\"";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kUserTime:
+      return "@" + std::to_string(AsTime().ticks);
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t seed = HashCombine(0, static_cast<size_t>(type()));
+  switch (type()) {
+    case ValueType::kInt:
+      return HashCombine(seed, HashValue(AsInt()));
+    case ValueType::kDouble:
+      return HashCombine(seed, HashValue(AsDouble()));
+    case ValueType::kString:
+      return HashCombine(seed, HashValue(AsString()));
+    case ValueType::kBool:
+      return HashCombine(seed, HashValue(AsBool()));
+    case ValueType::kUserTime:
+      return HashCombine(seed, HashValue(AsTime().ticks));
+  }
+  return seed;
+}
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  auto sign = [](auto x, auto y) { return x < y ? -1 : (y < x ? 1 : 0); };
+  // Numeric types compare with each other.
+  const bool a_num =
+      a.type() == ValueType::kInt || a.type() == ValueType::kDouble;
+  const bool b_num =
+      b.type() == ValueType::kInt || b.type() == ValueType::kDouble;
+  if (a_num && b_num) {
+    if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+      return sign(a.AsInt(), b.AsInt());
+    }
+    const double x = a.type() == ValueType::kInt
+                         ? static_cast<double>(a.AsInt())
+                         : a.AsDouble();
+    const double y = b.type() == ValueType::kInt
+                         ? static_cast<double>(b.AsInt())
+                         : b.AsDouble();
+    return sign(x, y);
+  }
+  if (a.type() != b.type()) {
+    return TypeMismatchError(
+        std::string("cannot compare ") + std::string(ValueTypeName(a.type())) +
+        " with " + std::string(ValueTypeName(b.type())));
+  }
+  switch (a.type()) {
+    case ValueType::kString:
+      return sign(a.AsString(), b.AsString());
+    case ValueType::kBool:
+      return sign(a.AsBool(), b.AsBool());
+    case ValueType::kUserTime:
+      return sign(a.AsTime().ticks, b.AsTime().ticks);
+    default:
+      return InternalError("unhandled type in Value::Compare");
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace ttra

@@ -1,0 +1,403 @@
+#ifndef TTRA_STORAGE_LOGS_H_
+#define TTRA_STORAGE_LOGS_H_
+
+#include <algorithm>
+#include <cassert>
+
+#include "storage/state_log.h"
+
+namespace ttra {
+
+/// Direct realization of the paper's semantics: every (state, txn) pair is
+/// stored in full. Fast FINDSTATE, O(history × state) space.
+template <typename StateT>
+class FullCopyLog final : public StateLog<StateT> {
+ public:
+  Status Append(const StateT& state, TransactionNumber txn) override {
+    if (!entries_.empty() && txn <= entries_.back().second) {
+      return InternalError("non-increasing transaction number in Append");
+    }
+    entries_.emplace_back(state, txn);
+    return Status::Ok();
+  }
+
+  Status ReplaceLast(const StateT& state, TransactionNumber txn) override {
+    entries_.clear();
+    entries_.emplace_back(state, txn);
+    return Status::Ok();
+  }
+
+  std::optional<StateT> StateAt(TransactionNumber txn) const override {
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), txn,
+        [](TransactionNumber t, const auto& e) { return t < e.second; });
+    if (it == entries_.begin()) return std::nullopt;
+    return std::prev(it)->first;
+  }
+
+  size_t size() const override { return entries_.size(); }
+
+  TransactionNumber TxnAt(size_t i) const override {
+    return entries_[i].second;
+  }
+
+  size_t ApproxBytes() const override {
+    size_t total = 0;
+    for (const auto& [state, txn] : entries_) {
+      total += ApproxSize(state) + sizeof(TransactionNumber);
+    }
+    return total;
+  }
+
+  StorageKind kind() const override { return StorageKind::kFullCopy; }
+
+  std::unique_ptr<StateLog<StateT>> Clone() const override {
+    return std::make_unique<FullCopyLog<StateT>>(*this);
+  }
+
+ private:
+  std::vector<std::pair<StateT, TransactionNumber>> entries_;
+};
+
+/// Differential ("backlog") engine: each entry stores the rows added and
+/// removed relative to the previous state. FINDSTATE replays from the
+/// start; space is proportional to change volume, not state size.
+template <typename StateT>
+class DeltaLog final : public StateLog<StateT> {
+ public:
+  using Row = typename StateTraits<StateT>::Row;
+
+  Status Append(const StateT& state, TransactionNumber txn) override {
+    if (!entries_.empty() && txn <= entries_.back().txn) {
+      return InternalError("non-increasing transaction number in Append");
+    }
+    Entry entry;
+    entry.txn = txn;
+    entry.schema = state.schema();
+    const std::vector<Row>& new_rows = StateTraits<StateT>::Rows(state);
+    if (!entries_.empty() && entries_.back().schema != state.schema()) {
+      // Scheme change: rebase with a full snapshot of the new rows.
+      entry.removed = tail_rows_;
+      entry.added = new_rows;
+    } else {
+      std::set_difference(new_rows.begin(), new_rows.end(),
+                          tail_rows_.begin(), tail_rows_.end(),
+                          std::back_inserter(entry.added));
+      std::set_difference(tail_rows_.begin(), tail_rows_.end(),
+                          new_rows.begin(), new_rows.end(),
+                          std::back_inserter(entry.removed));
+    }
+    tail_rows_ = new_rows;
+    entries_.push_back(std::move(entry));
+    return Status::Ok();
+  }
+
+  Status ReplaceLast(const StateT& state, TransactionNumber txn) override {
+    entries_.clear();
+    tail_rows_.clear();
+    return Append(state, txn);
+  }
+
+  std::optional<StateT> StateAt(TransactionNumber txn) const override {
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), txn,
+        [](TransactionNumber t, const Entry& e) { return t < e.txn; });
+    if (it == entries_.begin()) return std::nullopt;
+    const size_t last = static_cast<size_t>(it - entries_.begin()) - 1;
+    std::vector<Row> rows;
+    for (size_t i = 0; i <= last; ++i) ApplyEntry(entries_[i], rows);
+    return StateTraits<StateT>::FromRows(entries_[last].schema,
+                                         std::move(rows));
+  }
+
+  size_t size() const override { return entries_.size(); }
+
+  TransactionNumber TxnAt(size_t i) const override { return entries_[i].txn; }
+
+  size_t ApproxBytes() const override {
+    size_t total = 0;
+    for (const Entry& e : entries_) {
+      total += sizeof(TransactionNumber) + 32;  // entry overhead
+      for (const Row& r : e.added) total += ApproxSize(r);
+      for (const Row& r : e.removed) total += ApproxSize(r);
+    }
+    return total;
+  }
+
+  StorageKind kind() const override { return StorageKind::kDelta; }
+
+  std::unique_ptr<StateLog<StateT>> Clone() const override {
+    return std::make_unique<DeltaLog<StateT>>(*this);
+  }
+
+ private:
+  struct Entry {
+    TransactionNumber txn = 0;
+    Schema schema;
+    std::vector<Row> added;
+    std::vector<Row> removed;
+  };
+
+  static void ApplyEntry(const Entry& entry, std::vector<Row>& rows) {
+    if (!entry.removed.empty()) {
+      std::vector<Row> kept;
+      kept.reserve(rows.size());
+      std::set_difference(rows.begin(), rows.end(), entry.removed.begin(),
+                          entry.removed.end(), std::back_inserter(kept));
+      rows = std::move(kept);
+    }
+    if (!entry.added.empty()) {
+      std::vector<Row> merged;
+      merged.reserve(rows.size() + entry.added.size());
+      std::merge(rows.begin(), rows.end(), entry.added.begin(),
+                 entry.added.end(), std::back_inserter(merged));
+      rows = std::move(merged);
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<Row> tail_rows_;  // rows of the most recent state
+};
+
+/// Delta engine with periodic full checkpoints: every `interval`-th entry
+/// stores the complete state, bounding FINDSTATE replay to `interval`
+/// entries — the classic space/time dial between kFullCopy (interval 1)
+/// and kDelta (interval ∞).
+template <typename StateT>
+class CheckpointLog final : public StateLog<StateT> {
+ public:
+  using Row = typename StateTraits<StateT>::Row;
+
+  explicit CheckpointLog(size_t interval) : interval_(interval < 1 ? 1 : interval) {}
+
+  Status Append(const StateT& state, TransactionNumber txn) override {
+    if (!entries_.empty() && txn <= entries_.back().txn) {
+      return InternalError("non-increasing transaction number in Append");
+    }
+    Entry entry;
+    entry.txn = txn;
+    entry.schema = state.schema();
+    const std::vector<Row>& new_rows = StateTraits<StateT>::Rows(state);
+    const bool checkpoint =
+        entries_.empty() || entries_.size() % interval_ == 0 ||
+        entries_.back().schema != state.schema();
+    if (checkpoint) {
+      entry.is_checkpoint = true;
+      entry.added = new_rows;
+    } else {
+      std::set_difference(new_rows.begin(), new_rows.end(),
+                          tail_rows_.begin(), tail_rows_.end(),
+                          std::back_inserter(entry.added));
+      std::set_difference(tail_rows_.begin(), tail_rows_.end(),
+                          new_rows.begin(), new_rows.end(),
+                          std::back_inserter(entry.removed));
+    }
+    tail_rows_ = new_rows;
+    entries_.push_back(std::move(entry));
+    return Status::Ok();
+  }
+
+  Status ReplaceLast(const StateT& state, TransactionNumber txn) override {
+    entries_.clear();
+    tail_rows_.clear();
+    return Append(state, txn);
+  }
+
+  std::optional<StateT> StateAt(TransactionNumber txn) const override {
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), txn,
+        [](TransactionNumber t, const Entry& e) { return t < e.txn; });
+    if (it == entries_.begin()) return std::nullopt;
+    const size_t last = static_cast<size_t>(it - entries_.begin()) - 1;
+    size_t start = last;
+    while (!entries_[start].is_checkpoint) {
+      assert(start > 0);
+      --start;
+    }
+    std::vector<Row> rows;
+    for (size_t i = start; i <= last; ++i) {
+      if (entries_[i].is_checkpoint) {
+        rows = entries_[i].added;
+      } else {
+        ApplyDelta(entries_[i], rows);
+      }
+    }
+    return StateTraits<StateT>::FromRows(entries_[last].schema,
+                                         std::move(rows));
+  }
+
+  size_t size() const override { return entries_.size(); }
+
+  TransactionNumber TxnAt(size_t i) const override { return entries_[i].txn; }
+
+  size_t ApproxBytes() const override {
+    size_t total = 0;
+    for (const Entry& e : entries_) {
+      total += sizeof(TransactionNumber) + 32;
+      for (const Row& r : e.added) total += ApproxSize(r);
+      for (const Row& r : e.removed) total += ApproxSize(r);
+    }
+    return total;
+  }
+
+  StorageKind kind() const override { return StorageKind::kCheckpoint; }
+
+  std::unique_ptr<StateLog<StateT>> Clone() const override {
+    return std::make_unique<CheckpointLog<StateT>>(*this);
+  }
+
+  size_t interval() const { return interval_; }
+
+ private:
+  struct Entry {
+    TransactionNumber txn = 0;
+    Schema schema;
+    bool is_checkpoint = false;
+    std::vector<Row> added;    // full rows when is_checkpoint
+    std::vector<Row> removed;  // empty when is_checkpoint
+  };
+
+  static void ApplyDelta(const Entry& entry, std::vector<Row>& rows) {
+    if (!entry.removed.empty()) {
+      std::vector<Row> kept;
+      kept.reserve(rows.size());
+      std::set_difference(rows.begin(), rows.end(), entry.removed.begin(),
+                          entry.removed.end(), std::back_inserter(kept));
+      rows = std::move(kept);
+    }
+    if (!entry.added.empty()) {
+      std::vector<Row> merged;
+      merged.reserve(rows.size() + entry.added.size());
+      std::merge(rows.begin(), rows.end(), entry.added.begin(),
+                 entry.added.end(), std::back_inserter(merged));
+      rows = std::move(merged);
+    }
+  }
+
+  size_t interval_;
+  std::vector<Entry> entries_;
+  std::vector<Row> tail_rows_;
+};
+
+/// Reverse-delta engine (the RCS layout): the most recent state is stored
+/// in full and each older state is reachable through a *backward* delta.
+/// ρ(R, ∞) reads the stored state directly; rolling back to the k-th most
+/// recent state replays k backward deltas. The natural complement of
+/// DeltaLog when queries skew towards the present.
+template <typename StateT>
+class ReverseDeltaLog final : public StateLog<StateT> {
+ public:
+  using Row = typename StateTraits<StateT>::Row;
+
+  Status Append(const StateT& state, TransactionNumber txn) override {
+    if (!txns_.empty() && txn <= txns_.back()) {
+      return InternalError("non-increasing transaction number in Append");
+    }
+    const std::vector<Row>& new_rows = StateTraits<StateT>::Rows(state);
+    if (!txns_.empty()) {
+      // Record how to get the *previous* state back from the new one.
+      BackEntry entry;
+      entry.schema = current_schema_;
+      if (current_schema_ != state.schema()) {
+        // Scheme boundary: keep the previous rows verbatim.
+        entry.is_full = true;
+        entry.added = current_rows_;
+      } else {
+        std::set_difference(current_rows_.begin(), current_rows_.end(),
+                            new_rows.begin(), new_rows.end(),
+                            std::back_inserter(entry.added));
+        std::set_difference(new_rows.begin(), new_rows.end(),
+                            current_rows_.begin(), current_rows_.end(),
+                            std::back_inserter(entry.removed));
+      }
+      back_deltas_.push_back(std::move(entry));
+    }
+    txns_.push_back(txn);
+    current_rows_ = new_rows;
+    current_schema_ = state.schema();
+    return Status::Ok();
+  }
+
+  Status ReplaceLast(const StateT& state, TransactionNumber txn) override {
+    txns_.clear();
+    back_deltas_.clear();
+    current_rows_.clear();
+    return Append(state, txn);
+  }
+
+  std::optional<StateT> StateAt(TransactionNumber txn) const override {
+    auto it = std::upper_bound(txns_.begin(), txns_.end(), txn);
+    if (it == txns_.begin()) return std::nullopt;
+    const size_t target = static_cast<size_t>(it - txns_.begin()) - 1;
+    std::vector<Row> rows = current_rows_;
+    Schema schema = current_schema_;
+    // Walk backwards from the newest version (index size-1) to `target`;
+    // back_deltas_[k] recovers version k from version k+1.
+    for (size_t k = txns_.size() - 1; k > target; --k) {
+      const BackEntry& entry = back_deltas_[k - 1];
+      if (entry.is_full) {
+        rows = entry.added;
+      } else {
+        ApplyBack(entry, rows);
+      }
+      schema = entry.schema;
+    }
+    return StateTraits<StateT>::FromRows(schema, std::move(rows));
+  }
+
+  size_t size() const override { return txns_.size(); }
+
+  TransactionNumber TxnAt(size_t i) const override { return txns_[i]; }
+
+  size_t ApproxBytes() const override {
+    size_t total = 64;
+    for (const Row& r : current_rows_) total += ApproxSize(r);
+    for (const BackEntry& e : back_deltas_) {
+      total += 32;
+      for (const Row& r : e.added) total += ApproxSize(r);
+      for (const Row& r : e.removed) total += ApproxSize(r);
+    }
+    total += txns_.size() * sizeof(TransactionNumber);
+    return total;
+  }
+
+  StorageKind kind() const override { return StorageKind::kReverseDelta; }
+
+  std::unique_ptr<StateLog<StateT>> Clone() const override {
+    return std::make_unique<ReverseDeltaLog<StateT>>(*this);
+  }
+
+ private:
+  struct BackEntry {
+    Schema schema;   // scheme of the *older* state this entry recovers
+    bool is_full = false;
+    std::vector<Row> added;    // rows to restore (all rows when is_full)
+    std::vector<Row> removed;  // rows the newer state introduced
+  };
+
+  static void ApplyBack(const BackEntry& entry, std::vector<Row>& rows) {
+    if (!entry.removed.empty()) {
+      std::vector<Row> kept;
+      kept.reserve(rows.size());
+      std::set_difference(rows.begin(), rows.end(), entry.removed.begin(),
+                          entry.removed.end(), std::back_inserter(kept));
+      rows = std::move(kept);
+    }
+    if (!entry.added.empty()) {
+      std::vector<Row> merged;
+      merged.reserve(rows.size() + entry.added.size());
+      std::merge(rows.begin(), rows.end(), entry.added.begin(),
+                 entry.added.end(), std::back_inserter(merged));
+      rows = std::move(merged);
+    }
+  }
+
+  std::vector<TransactionNumber> txns_;
+  std::vector<BackEntry> back_deltas_;  // size = txns_.size() - 1
+  std::vector<Row> current_rows_;
+  Schema current_schema_;
+};
+
+}  // namespace ttra
+
+#endif  // TTRA_STORAGE_LOGS_H_

@@ -1,0 +1,74 @@
+#ifndef TTRA_STORAGE_SERIALIZE_H_
+#define TTRA_STORAGE_SERIALIZE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/state_log.h"
+
+namespace ttra {
+
+/// Binary codec for the semantic-domain value types. The on-disk form of a
+/// relation is its *logical* state sequence (engine-independent), framed
+/// with a magic number, version, and a 64-bit FNV-1a checksum; decoding
+/// verifies the frame and fails with kCorruption instead of misreading.
+
+void EncodeValue(const Value& value, std::string& out);
+void EncodeTuple(const Tuple& tuple, std::string& out);
+void EncodeSchema(const Schema& schema, std::string& out);
+void EncodeSnapshotState(const SnapshotState& state, std::string& out);
+void EncodeTemporalElement(const TemporalElement& element, std::string& out);
+void EncodeHistoricalState(const HistoricalState& state, std::string& out);
+
+/// Sequential reader over an encoded buffer; every accessor checks bounds
+/// and returns kCorruption on truncated or malformed input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadByte();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Result<Value> DecodeValue(ByteReader& reader);
+Result<Tuple> DecodeTuple(ByteReader& reader);
+Result<Schema> DecodeSchema(ByteReader& reader);
+Result<SnapshotState> DecodeSnapshotState(ByteReader& reader);
+Result<TemporalElement> DecodeTemporalElement(ByteReader& reader);
+Result<HistoricalState> DecodeHistoricalState(ByteReader& reader);
+
+/// Framed encoding of a relation's full logical state sequence.
+template <typename StateT>
+std::string EncodeStateSequence(
+    const std::vector<std::pair<StateT, TransactionNumber>>& sequence);
+
+/// Inverse of EncodeStateSequence; checksum/magic failures → kCorruption.
+template <typename StateT>
+Result<std::vector<std::pair<StateT, TransactionNumber>>> DecodeStateSequence(
+    std::string_view data);
+
+/// Extracts the logical sequence from any engine (via FINDSTATE replay).
+template <typename StateT>
+std::vector<std::pair<StateT, TransactionNumber>> MaterializeSequence(
+    const StateLog<StateT>& log);
+
+/// Rebuilds an engine of the given kind from a logical sequence.
+template <typename StateT>
+Result<std::unique_ptr<StateLog<StateT>>> RebuildLog(
+    const std::vector<std::pair<StateT, TransactionNumber>>& sequence,
+    StorageKind kind, size_t checkpoint_interval = 16);
+
+}  // namespace ttra
+
+#endif  // TTRA_STORAGE_SERIALIZE_H_

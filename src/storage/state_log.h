@@ -1,0 +1,119 @@
+#ifndef TTRA_STORAGE_STATE_LOG_H_
+#define TTRA_STORAGE_STATE_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "historical/hstate.h"
+#include "snapshot/state.h"
+#include "util/result.h"
+
+namespace ttra {
+
+/// The paper's TRANSACTION NUMBER domain: non-negative integers assigned at
+/// commit, strictly increasing along every relation's state sequence.
+using TransactionNumber = uint64_t;
+
+/// Storage-engine choice for a relation's state sequence. The paper's
+/// denotational semantics corresponds to kFullCopy; kDelta and kCheckpoint
+/// are the "more efficient implementations using optimization strategies
+/// for both storage and retrieval" it anticipates (§2), proven equivalent
+/// by the engine-equivalence property suite.
+enum class StorageKind : uint8_t {
+  kFullCopy = 0,
+  kDelta = 1,
+  kCheckpoint = 2,
+  /// Current state stored in full plus *backward* deltas (the RCS layout):
+  /// ρ(R, ∞) is O(1), and rollback cost grows with the distance into the
+  /// past — matching the access pattern where recent states dominate.
+  kReverseDelta = 3,
+};
+
+std::string_view StorageKindName(StorageKind kind);
+
+/// Generic row access used by the differential engines. A state is a
+/// canonical sorted set of rows over a schema, so diffs are set diffs.
+template <typename StateT>
+struct StateTraits;
+
+template <>
+struct StateTraits<SnapshotState> {
+  using Row = Tuple;
+  static const std::vector<Row>& Rows(const SnapshotState& state) {
+    return state.tuples();
+  }
+  static SnapshotState FromRows(const Schema& schema, std::vector<Row> rows) {
+    // Rows originate from validated states, so Make cannot fail.
+    return *SnapshotState::Make(schema, std::move(rows));
+  }
+};
+
+template <>
+struct StateTraits<HistoricalState> {
+  using Row = HistoricalTuple;
+  static const std::vector<Row>& Rows(const HistoricalState& state) {
+    return state.tuples();
+  }
+  static HistoricalState FromRows(const Schema& schema,
+                                  std::vector<Row> rows) {
+    return *HistoricalState::Make(schema, std::move(rows));
+  }
+};
+
+/// A relation's sequence of (state, transaction-number) pairs — the
+/// `[STATE × TRANSACTION NUMBER]*` component of the paper's RELATION
+/// domain — behind a storage-engine interface. FINDSTATE (`StateAt`) is the
+/// only read path, so engines are free to store anything that can
+/// reconstruct the sequence.
+template <typename StateT>
+class StateLog {
+ public:
+  virtual ~StateLog() = default;
+
+  /// Appends (state, txn) at the end of the sequence. Requires txn to be
+  /// strictly greater than the last recorded transaction number.
+  virtual Status Append(const StateT& state, TransactionNumber txn) = 0;
+
+  /// Replaces the single element of the sequence (snapshot/historical
+  /// relations keep exactly one element). Creates it if the sequence is
+  /// empty.
+  virtual Status ReplaceLast(const StateT& state, TransactionNumber txn) = 0;
+
+  /// FINDSTATE: the state whose transaction number is the largest one
+  /// <= txn, or nullopt if the sequence is empty or txn precedes it.
+  virtual std::optional<StateT> StateAt(TransactionNumber txn) const = 0;
+
+  /// Number of (state, txn) pairs in the logical sequence.
+  virtual size_t size() const = 0;
+
+  /// Transaction number of the i-th pair (0-based).
+  virtual TransactionNumber TxnAt(size_t i) const = 0;
+
+  /// Estimated resident bytes — the storage-cost metric of experiment E3.
+  virtual size_t ApproxBytes() const = 0;
+
+  virtual StorageKind kind() const = 0;
+
+  virtual std::unique_ptr<StateLog<StateT>> Clone() const = 0;
+};
+
+/// Estimated in-memory footprint of values/tuples/states, used by
+/// ApproxBytes. Deliberately simple and deterministic.
+size_t ApproxSize(const Value& value);
+size_t ApproxSize(const Tuple& tuple);
+size_t ApproxSize(const SnapshotState& state);
+size_t ApproxSize(const HistoricalTuple& tuple);
+size_t ApproxSize(const HistoricalState& state);
+
+/// Factory for the engine implementations in this module.
+/// `checkpoint_interval` applies to kCheckpoint only (a full state is
+/// stored every `checkpoint_interval` entries; deltas in between).
+template <typename StateT>
+std::unique_ptr<StateLog<StateT>> MakeStateLog(StorageKind kind,
+                                               size_t checkpoint_interval = 16);
+
+}  // namespace ttra
+
+#endif  // TTRA_STORAGE_STATE_LOG_H_

@@ -1,0 +1,40 @@
+#ifndef TTRA_UTIL_RANDOM_H_
+#define TTRA_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ttra {
+
+/// Deterministic, seedable PRNG (xoshiro256** with a splitmix64 seeder).
+/// Used by the workload generators and property tests so that every
+/// randomized failure is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Lowercase alphanumeric string of the given length.
+  std::string AlphaNum(size_t length);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ttra
+
+#endif  // TTRA_UTIL_RANDOM_H_

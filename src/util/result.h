@@ -1,0 +1,82 @@
+#ifndef TTRA_UTIL_RESULT_H_
+#define TTRA_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ttra {
+
+/// Value-or-Status carrier, the return type of every fallible operation in
+/// the library (the semantic functions E, C, P are made total by returning
+/// Result instead of being partial functions as in the paper).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return some_state;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: allows `return SomeError(...);`.
+  /// Must not be an OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+/// Propagates an error status out of the current function.
+///
+///   TTRA_RETURN_IF_ERROR(DoSomething());
+#define TTRA_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::ttra::Status ttra_status__ = (expr);    \
+    if (!ttra_status__.ok()) return ttra_status__; \
+  } while (false)
+
+/// Unwraps a Result into a local variable, propagating errors.
+///
+///   TTRA_ASSIGN_OR_RETURN(auto state, EvalExpr(expr, db));
+#define TTRA_ASSIGN_OR_RETURN(decl, expr)                 \
+  TTRA_ASSIGN_OR_RETURN_IMPL_(                            \
+      TTRA_RESULT_CONCAT_(ttra_result__, __LINE__), decl, expr)
+
+#define TTRA_ASSIGN_OR_RETURN_IMPL_(result_var, decl, expr) \
+  auto result_var = (expr);                                 \
+  if (!result_var.ok()) return result_var.status();         \
+  decl = std::move(result_var).value()
+
+#define TTRA_RESULT_CONCAT_INNER_(a, b) a##b
+#define TTRA_RESULT_CONCAT_(a, b) TTRA_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace ttra
+
+#endif  // TTRA_UTIL_RESULT_H_

@@ -1,0 +1,71 @@
+#include "util/status.h"
+
+namespace ttra {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kUnknownIdentifier:
+      return "unknown-identifier";
+    case ErrorCode::kAlreadyDefined:
+      return "already-defined";
+    case ErrorCode::kSchemaMismatch:
+      return "schema-mismatch";
+    case ErrorCode::kTypeMismatch:
+      return "type-mismatch";
+    case ErrorCode::kInvalidRollback:
+      return "invalid-rollback";
+    case ErrorCode::kParseError:
+      return "parse-error";
+    case ErrorCode::kCorruption:
+      return "corruption";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(ErrorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status UnknownIdentifierError(std::string_view message) {
+  return Status(ErrorCode::kUnknownIdentifier, std::string(message));
+}
+Status AlreadyDefinedError(std::string_view message) {
+  return Status(ErrorCode::kAlreadyDefined, std::string(message));
+}
+Status SchemaMismatchError(std::string_view message) {
+  return Status(ErrorCode::kSchemaMismatch, std::string(message));
+}
+Status TypeMismatchError(std::string_view message) {
+  return Status(ErrorCode::kTypeMismatch, std::string(message));
+}
+Status InvalidRollbackError(std::string_view message) {
+  return Status(ErrorCode::kInvalidRollback, std::string(message));
+}
+Status ParseError(std::string_view message) {
+  return Status(ErrorCode::kParseError, std::string(message));
+}
+Status CorruptionError(std::string_view message) {
+  return Status(ErrorCode::kCorruption, std::string(message));
+}
+Status InvalidArgumentError(std::string_view message) {
+  return Status(ErrorCode::kInvalidArgument, std::string(message));
+}
+Status InternalError(std::string_view message) {
+  return Status(ErrorCode::kInternal, std::string(message));
+}
+
+}  // namespace ttra

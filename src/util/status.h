@@ -1,0 +1,90 @@
+#ifndef TTRA_UTIL_STATUS_H_
+#define TTRA_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ttra {
+
+/// Machine-readable classification of an error produced anywhere in the
+/// library. The language layer maps these onto the "invalid expression"
+/// handling the paper defers to its companion technical report.
+enum class ErrorCode {
+  kOk = 0,
+  /// An identifier is not bound to a relation in the database state
+  /// (the paper's DATABASE STATE maps it to ⊥).
+  kUnknownIdentifier,
+  /// An identifier is already bound (e.g. define_relation on an existing
+  /// name). The paper's semantics make this a no-op; callers may choose to
+  /// surface it instead.
+  kAlreadyDefined,
+  /// Operand schemas are incompatible (union/difference of states with
+  /// different schemas, projection of a missing attribute, ...).
+  kSchemaMismatch,
+  /// A value or expression has the wrong type (comparing int to string,
+  /// boolean expression evaluating a non-boolean, ...).
+  kTypeMismatch,
+  /// Rollback ρ(I, N) with finite N applied to a snapshot relation, or a
+  /// snapshot operator applied to an historical state (and vice versa).
+  kInvalidRollback,
+  /// Malformed concrete syntax.
+  kParseError,
+  /// Serialized state-log bytes failed validation.
+  kCorruption,
+  /// A command or operator argument is outside its domain (e.g. negative
+  /// transaction number literal).
+  kInvalidArgument,
+  /// Internal invariant violated; indicates a bug in the library.
+  kInternal,
+};
+
+/// Returns a stable lowercase name, e.g. "schema-mismatch".
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// Result-of-an-operation carrier: either OK or an ErrorCode plus a
+/// human-readable message. Modeled on the Status idiom used by large C++
+/// database codebases; cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers, one per error code.
+Status UnknownIdentifierError(std::string_view message);
+Status AlreadyDefinedError(std::string_view message);
+Status SchemaMismatchError(std::string_view message);
+Status TypeMismatchError(std::string_view message);
+Status InvalidRollbackError(std::string_view message);
+Status ParseError(std::string_view message);
+Status CorruptionError(std::string_view message);
+Status InvalidArgumentError(std::string_view message);
+Status InternalError(std::string_view message);
+
+}  // namespace ttra
+
+#endif  // TTRA_UTIL_STATUS_H_

@@ -1,0 +1,112 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ttra {
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char separator) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == separator) {
+      pieces.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::string EscapeString(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string UnescapeString(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 == escaped.size()) {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    ++i;
+    switch (escaped[i]) {
+      case '"':
+        out.push_back('"');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'x': {
+        if (i + 2 < escaped.size() && std::isxdigit(escaped[i + 1]) &&
+            std::isxdigit(escaped[i + 2])) {
+          const std::string hex(escaped.substr(i + 1, 2));
+          out.push_back(static_cast<char>(std::stoi(hex, nullptr, 16)));
+          i += 2;
+        } else {
+          out += "\\x";
+        }
+        break;
+      }
+      default:
+        out.push_back('\\');
+        out.push_back(escaped[i]);
+    }
+  }
+  return out;
+}
+
+bool IsIdentifier(std::string_view text) {
+  if (text.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(text[0])) && text[0] != '_') {
+    return false;
+  }
+  for (char c : text.substr(1)) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+}  // namespace ttra

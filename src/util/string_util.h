@@ -1,0 +1,29 @@
+#ifndef TTRA_UTIL_STRING_UTIL_H_
+#define TTRA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ttra {
+
+/// Joins the pieces with the separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Splits on a single-character separator; no trimming, empty pieces kept.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Escapes a string for inclusion in the language's double-quoted string
+/// literals (backslash-escapes `"` and `\`, encodes control characters).
+std::string EscapeString(std::string_view raw);
+
+/// Inverse of EscapeString. Invalid escapes are passed through verbatim.
+std::string UnescapeString(std::string_view escaped);
+
+/// True if `text` is a valid language identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view text);
+
+}  // namespace ttra
+
+#endif  // TTRA_UTIL_STRING_UTIL_H_

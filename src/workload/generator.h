@@ -1,0 +1,81 @@
+#ifndef TTRA_WORKLOAD_GENERATOR_H_
+#define TTRA_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "historical/hstate.h"
+#include "lang/ast.h"
+#include "rollback/commands.h"
+#include "snapshot/predicate.h"
+#include "snapshot/state.h"
+#include "util/random.h"
+
+namespace ttra::workload {
+
+/// Knobs for the synthetic workloads driving the property suites and the
+/// benchmark harness (the paper has no datasets; these generators stand in
+/// for them — see DESIGN.md "Substitutions").
+struct GeneratorOptions {
+  size_t min_attributes = 1;
+  size_t max_attributes = 4;
+  /// Integer attribute values are drawn from [0, value_range).
+  int64_t value_range = 100;
+  /// Valid-time chronons are drawn from [0, time_horizon).
+  Chronon time_horizon = 1000;
+  size_t max_intervals_per_element = 3;
+  size_t max_string_length = 8;
+};
+
+/// Deterministic generator of schemas, states, predicates, expressions,
+/// and command streams. Every artifact is a pure function of the seed.
+class Generator {
+ public:
+  explicit Generator(uint64_t seed, GeneratorOptions options = {});
+
+  Rng& rng() { return rng_; }
+
+  /// Random scheme with min..max attributes of random types.
+  Schema RandomSchema();
+  /// Random scheme with exactly `arity` attributes.
+  Schema RandomSchema(size_t arity);
+
+  Value RandomValue(ValueType type);
+  Tuple RandomTuple(const Schema& schema);
+  SnapshotState RandomState(const Schema& schema, size_t tuples);
+
+  TemporalElement RandomElement();
+  HistoricalState RandomHistoricalState(const Schema& schema, size_t tuples);
+
+  /// A random comparison/and/or/not tree over the scheme's attributes,
+  /// guaranteed to validate against `schema`.
+  Predicate RandomPredicate(const Schema& schema, size_t depth = 2);
+
+  /// New state derived from `state` by deleting and inserting roughly
+  /// `change_fraction` of its tuples (the update-ratio dial of E3).
+  SnapshotState MutateState(const SnapshotState& state,
+                            double change_fraction);
+  HistoricalState MutateState(const HistoricalState& state,
+                              double change_fraction);
+
+  /// A define_relation followed by `updates` modify_state commands whose
+  /// states evolve by `change_fraction` per step. Type must be snapshot or
+  /// rollback (pass historical/temporal for historical states).
+  std::vector<Command> RandomCommandStream(const std::string& name,
+                                           RelationType type, size_t updates,
+                                           size_t state_size,
+                                           double change_fraction);
+
+  /// Random well-typed algebraic expression over `bases` (all of which
+  /// must share one scheme): union/minus/intersect/select/project nodes.
+  /// Projections keep the full scheme so operands stay union-compatible.
+  lang::Expr RandomExpr(const std::vector<lang::Expr>& bases,
+                        const Schema& schema, size_t depth);
+
+ private:
+  Rng rng_;
+  GeneratorOptions options_;
+};
+
+}  // namespace ttra::workload
+
+#endif  // TTRA_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "historical/haggregate.h"
+#include "lang/analyzer.h"
+#include "lang/evaluator.h"
+#include "lang/parser.h"
+#include "snapshot/aggregate.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+Schema EmpSchema() {
+  return *Schema::Make({{"dept", ValueType::kString},
+                        {"salary", ValueType::kInt}});
+}
+
+SnapshotState Emps(std::vector<std::pair<std::string, int64_t>> rows) {
+  std::vector<Tuple> tuples;
+  for (auto& [dept, salary] : rows) {
+    tuples.push_back(Tuple{Value::String(dept), Value::Int(salary)});
+  }
+  return *SnapshotState::Make(EmpSchema(), std::move(tuples));
+}
+
+// --- Snapshot aggregation ------------------------------------------------------
+
+TEST(AggregateTest, CountSumMinMaxAvgGrouped) {
+  SnapshotState state = Emps(
+      {{"cs", 10}, {"cs", 30}, {"ee", 20}, {"ee", 40}, {"ee", 60}});
+  auto result = Aggregate(state, {"dept"},
+                          {{"n", AggFunc::kCount, ""},
+                           {"total", AggFunc::kSum, "salary"},
+                           {"lo", AggFunc::kMin, "salary"},
+                           {"hi", AggFunc::kMax, "salary"},
+                           {"mean", AggFunc::kAvg, "salary"}});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->schema().ToString(),
+            "(dept: string, n: int, total: int, lo: int, hi: int, "
+            "mean: double)");
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_TRUE(result->Contains(Tuple{Value::String("cs"), Value::Int(2),
+                                     Value::Int(40), Value::Int(10),
+                                     Value::Int(30), Value::Double(20.0)}));
+  EXPECT_TRUE(result->Contains(Tuple{Value::String("ee"), Value::Int(3),
+                                     Value::Int(120), Value::Int(20),
+                                     Value::Int(60), Value::Double(40.0)}));
+}
+
+TEST(AggregateTest, GlobalAggregation) {
+  SnapshotState state = Emps({{"cs", 10}, {"ee", 20}});
+  auto result = Aggregate(state, {}, {{"n", AggFunc::kCount, ""}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuples()[0], Tuple{Value::Int(2)});
+}
+
+TEST(AggregateTest, EmptyInputYieldsNoGroups) {
+  auto result = Aggregate(Emps({}), {}, {{"n", AggFunc::kCount, ""}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(AggregateTest, MinMaxOnStrings) {
+  SnapshotState state = Emps({{"cs", 1}, {"ee", 2}});
+  auto result = Aggregate(state, {},
+                          {{"first", AggFunc::kMin, "dept"},
+                           {"last", AggFunc::kMax, "dept"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples()[0],
+            (Tuple{Value::String("cs"), Value::String("ee")}));
+}
+
+TEST(AggregateTest, TypeRules) {
+  SnapshotState state = Emps({{"cs", 1}});
+  EXPECT_EQ(Aggregate(state, {}, {{"s", AggFunc::kSum, "dept"}})
+                .status()
+                .code(),
+            ErrorCode::kTypeMismatch);
+  EXPECT_EQ(Aggregate(state, {}, {{"s", AggFunc::kAvg, "dept"}})
+                .status()
+                .code(),
+            ErrorCode::kTypeMismatch);
+  EXPECT_EQ(Aggregate(state, {}, {{"s", AggFunc::kSum, "ghost"}})
+                .status()
+                .code(),
+            ErrorCode::kSchemaMismatch);
+  EXPECT_EQ(Aggregate(state, {"ghost"}, {{"n", AggFunc::kCount, ""}})
+                .status()
+                .code(),
+            ErrorCode::kSchemaMismatch);
+  // Output name colliding with a group attribute.
+  EXPECT_FALSE(Aggregate(state, {"dept"}, {{"dept", AggFunc::kCount, ""}})
+                   .ok());
+}
+
+TEST(AggregateTest, SumOfDoublesStaysDouble) {
+  Schema schema = *Schema::Make({{"x", ValueType::kDouble}});
+  SnapshotState state = *SnapshotState::Make(
+      schema, {Tuple{Value::Double(1.5)}, Tuple{Value::Double(2.25)}});
+  auto result = Aggregate(state, {}, {{"s", AggFunc::kSum, "x"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples()[0], Tuple{Value::Double(3.75)});
+}
+
+TEST(AggregateTest, AggFuncNamesRoundTrip) {
+  for (AggFunc f : {AggFunc::kCount, AggFunc::kSum, AggFunc::kMin,
+                    AggFunc::kMax, AggFunc::kAvg}) {
+    auto parsed = ParseAggFunc(AggFuncName(f));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_FALSE(ParseAggFunc("median").ok());
+}
+
+// --- Temporal aggregation (snapshot reducibility) ---------------------------------
+
+HistoricalState HEmps(
+    std::vector<std::tuple<std::string, int64_t, Interval>> rows) {
+  std::vector<HistoricalTuple> tuples;
+  for (auto& [dept, salary, valid] : rows) {
+    tuples.push_back(
+        HistoricalTuple{Tuple{Value::String(dept), Value::Int(salary)},
+                        TemporalElement::Of({valid})});
+  }
+  return *HistoricalState::Make(EmpSchema(), std::move(tuples));
+}
+
+TEST(TemporalAggregateTest, PiecewiseCount) {
+  // Two facts overlapping on [5, 10): count is 1, 2, 1 across the axis.
+  HistoricalState state = HEmps({{"cs", 10, Interval::Make(0, 10)},
+                                 {"cs", 20, Interval::Make(5, 15)}});
+  auto result =
+      historical_ops::Aggregate(state, {}, {{"n", AggFunc::kCount, ""}});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->ValidTimeOf(Tuple{Value::Int(1)}),
+            TemporalElement::Of({Interval::Make(0, 5),
+                                 Interval::Make(10, 15)}));
+  EXPECT_EQ(result->ValidTimeOf(Tuple{Value::Int(2)}),
+            TemporalElement::Span(5, 10));
+}
+
+TEST(TemporalAggregateTest, CoalescesConstantStretches) {
+  // Disjoint facts with the same per-slab aggregate value merge into one
+  // element.
+  HistoricalState state = HEmps({{"cs", 10, Interval::Make(0, 5)},
+                                 {"cs", 10, Interval::Make(5, 10)}});
+  auto result =
+      historical_ops::Aggregate(state, {}, {{"n", AggFunc::kCount, ""}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->ValidTimeOf(Tuple{Value::Int(1)}),
+            TemporalElement::Span(0, 10));
+}
+
+TEST(TemporalAggregateTest, EmptyInput) {
+  auto result = historical_ops::Aggregate(HEmps({}), {},
+                                          {{"n", AggFunc::kCount, ""}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+class TemporalAggregatePropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalAggregatePropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST_P(TemporalAggregatePropertyTest, SnapshotReducible) {
+  workload::Generator gen(GetParam());
+  HistoricalState state = gen.RandomHistoricalState(EmpSchema(), 20);
+  const std::vector<AggregateDef> defs = {
+      {"n", AggFunc::kCount, ""},
+      {"total", AggFunc::kSum, "salary"},
+      {"hi", AggFunc::kMax, "salary"},
+  };
+  auto temporal = historical_ops::Aggregate(state, {"dept"}, defs);
+  ASSERT_TRUE(temporal.ok()) << temporal.status();
+  for (Chronon t = 0; t < 1000; t += 37) {
+    auto direct = Aggregate(state.SnapshotAt(t), {"dept"}, defs);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(temporal->SnapshotAt(t), *direct) << "at chronon " << t;
+  }
+}
+
+// --- Through the language -----------------------------------------------------------
+
+TEST(SummarizeLanguageTest, ParsesAndRoundTrips) {
+  const char* sources[] = {
+      "summarize[dept; n = count](rho(emp, inf))",
+      "summarize[; total = sum(salary)](rho(emp, inf))",
+      "summarize[a, b; lo = min(x), hi = max(x), m = avg(x)]"
+      "(rho(r, inf))",
+  };
+  for (const char* source : sources) {
+    auto first = lang::ParseExpr(source);
+    ASSERT_TRUE(first.ok()) << source << " → " << first.status();
+    const std::string printed = first->ToString();
+    auto second = lang::ParseExpr(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(*first, *second);
+    EXPECT_EQ(second->ToString(), printed);
+  }
+  // count() with parens parses to the same node.
+  auto a = lang::ParseExpr("summarize[; n = count](rho(r, inf))");
+  auto b = lang::ParseExpr("summarize[; n = count()](rho(r, inf))");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SummarizeLanguageTest, EvaluatesOverRollback) {
+  auto db = lang::EvalSentence(R"(
+    define_relation(emp, rollback, (dept: string, salary: int));
+    modify_state(emp, (dept: string, salary: int)
+                      {("cs", 10), ("cs", 30), ("ee", 20)});
+    modify_state(emp, select[salary > 15](rho(emp, inf)));
+  )");
+  ASSERT_TRUE(db.ok()) << db.status();
+  std::vector<lang::StateValue> outputs;
+  ASSERT_TRUE(lang::Run(
+      "show(summarize[dept; n = count, total = sum(salary)](rho(emp, 2)));"
+      "show(summarize[dept; n = count, total = sum(salary)](rho(emp, inf)));",
+      *db, &outputs).ok());
+  ASSERT_EQ(outputs.size(), 2u);
+  const auto& past = std::get<SnapshotState>(outputs[0]);
+  EXPECT_TRUE(past.Contains(Tuple{Value::String("cs"), Value::Int(2),
+                                  Value::Int(40)}));
+  const auto& now = std::get<SnapshotState>(outputs[1]);
+  EXPECT_TRUE(now.Contains(Tuple{Value::String("cs"), Value::Int(1),
+                                 Value::Int(30)}));
+}
+
+TEST(SummarizeLanguageTest, EvaluatesOverTemporal) {
+  auto db = lang::EvalSentence(R"(
+    define_relation(t, temporal, (dept: string, salary: int));
+    modify_state(t, (dept: string, salary: int)
+                    {("cs", 10) @ [0, 10), ("cs", 20) @ [5, 15)});
+  )");
+  ASSERT_TRUE(db.ok()) << db.status();
+  std::vector<lang::StateValue> outputs;
+  ASSERT_TRUE(lang::Run(
+      "show(summarize[; total = sum(salary)](hrho(t, inf)));", *db,
+      &outputs).ok());
+  const auto& state = std::get<HistoricalState>(outputs[0]);
+  EXPECT_EQ(state.ValidTimeOf(Tuple{Value::Int(10)}),
+            TemporalElement::Span(0, 5));
+  EXPECT_EQ(state.ValidTimeOf(Tuple{Value::Int(30)}),
+            TemporalElement::Span(5, 10));
+  EXPECT_EQ(state.ValidTimeOf(Tuple{Value::Int(20)}),
+            TemporalElement::Span(10, 15));
+}
+
+TEST(SummarizeLanguageTest, AnalyzerTypesAndErrors) {
+  auto db = lang::EvalSentence(
+      "define_relation(emp, rollback, (dept: string, salary: int));");
+  ASSERT_TRUE(db.ok());
+  lang::Catalog catalog(*db);
+  auto good = lang::ParseExpr(
+      "summarize[dept; m = avg(salary)](rho(emp, inf))");
+  ASSERT_TRUE(good.ok());
+  auto type = lang::Analyze(*good, catalog);
+  ASSERT_TRUE(type.ok()) << type.status();
+  EXPECT_EQ(type->schema.ToString(), "(dept: string, m: double)");
+
+  auto bad = lang::ParseExpr(
+      "summarize[dept; m = sum(dept)](rho(emp, inf))");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(lang::Analyze(*bad, catalog).status().code(),
+            ErrorCode::kTypeMismatch);
+}
+
+}  // namespace
+}  // namespace ttra

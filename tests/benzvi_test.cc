@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "benzvi/trm.h"
+#include "lang/evaluator.h"
+#include "workload/generator.h"
+
+namespace ttra::benzvi {
+namespace {
+
+Schema NameSchema() { return *Schema::Make({{"name", ValueType::kString}}); }
+
+HistoricalState Facts(
+    std::vector<std::pair<std::string, Interval>> rows) {
+  std::vector<HistoricalTuple> tuples;
+  for (auto& [name, valid] : rows) {
+    tuples.push_back(HistoricalTuple{Tuple{Value::String(name)},
+                                     TemporalElement::Of({valid})});
+  }
+  return *HistoricalState::Make(NameSchema(), std::move(tuples));
+}
+
+TEST(TrmTest, ApplyVersionOpensAndClosesRows) {
+  TrmRelation trm(NameSchema());
+  ASSERT_TRUE(
+      trm.ApplyVersion(Facts({{"ed", Interval::Make(0, 10)}}), 1).ok());
+  ASSERT_TRUE(trm.ApplyVersion(Facts({{"ed", Interval::Make(0, 10)},
+                                      {"rick", Interval::Make(5, 15)}}),
+                               2)
+                  .ok());
+  ASSERT_TRUE(
+      trm.ApplyVersion(Facts({{"rick", Interval::Make(5, 15)}}), 3).ok());
+  ASSERT_EQ(trm.size(), 2u);  // ed's row closed, not removed
+  const TrmTuple& ed = trm.tuples()[0];
+  EXPECT_EQ(ed.trans_begin, 1u);
+  EXPECT_EQ(ed.trans_end, 3u);
+  const TrmTuple& rick = trm.tuples()[1];
+  EXPECT_EQ(rick.trans_begin, 2u);
+  EXPECT_EQ(rick.trans_end, kOpenTransaction);
+}
+
+TEST(TrmTest, VersionsMustIncrease) {
+  TrmRelation trm(NameSchema());
+  ASSERT_TRUE(trm.ApplyVersion(Facts({}), 5).ok());
+  EXPECT_FALSE(trm.ApplyVersion(Facts({}), 5).ok());
+  EXPECT_FALSE(trm.ApplyVersion(Facts({}), 4).ok());
+}
+
+TEST(TrmTest, SchemaChecked) {
+  TrmRelation trm(NameSchema());
+  HistoricalState wrong = *HistoricalState::Make(
+      *Schema::Make({{"x", ValueType::kInt}}), {});
+  EXPECT_EQ(trm.ApplyVersion(wrong, 1).code(), ErrorCode::kSchemaMismatch);
+}
+
+size_t TimeViewSize(const TrmRelation& trm, Chronon tv,
+                    TransactionNumber tt) {
+  auto view = trm.TimeView(tv, tt);
+  EXPECT_TRUE(view.ok());
+  return view.ok() ? view->size() : SIZE_MAX;
+}
+
+TEST(TrmTest, TimeViewSlicesBothTimes) {
+  TrmRelation trm(NameSchema());
+  ASSERT_TRUE(
+      trm.ApplyVersion(Facts({{"ed", Interval::Make(0, 10)}}), 1).ok());
+  ASSERT_TRUE(trm.ApplyVersion(Facts({{"ed", Interval::Make(0, 20)}}), 2)
+                  .ok());  // history revised at txn 2
+  // As of txn 1, ed is valid only until 10.
+  EXPECT_EQ(TimeViewSize(trm, 15, 1), 0u);
+  // As of txn 2, the revision extends validity to 20.
+  EXPECT_EQ(TimeViewSize(trm, 15, 2), 1u);
+  // Valid-time slicing.
+  EXPECT_EQ(TimeViewSize(trm, 5, 1), 1u);
+  EXPECT_EQ(TimeViewSize(trm, 25, 2), 0u);
+}
+
+TEST(TrmTest, FromTemporalRequiresTemporalRelation) {
+  Relation snap = Relation::Make(RelationType::kSnapshot, NameSchema(), 1);
+  EXPECT_EQ(TrmRelation::FromTemporal(snap).status().code(),
+            ErrorCode::kTypeMismatch);
+}
+
+// --- The paper's §5 comparison, as an executable equivalence (E8) --------------
+//
+// For a temporal relation R:
+//   TimeView(R, tv, tt)  ==  snapshot-at-tv( ρ̂(R, tt) )
+// and the TRM reconstruction of the full history at tt matches ρ̂(R, tt).
+
+class TrmEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, TrmEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST_P(TrmEquivalenceTest, TimeViewMatchesRollbackPlusTimeslice) {
+  workload::Generator gen(GetParam());
+  const Schema schema = gen.RandomSchema();
+  Database db;
+  ASSERT_TRUE(db.DefineRelation("t", RelationType::kTemporal, schema).ok());
+  HistoricalState state = gen.RandomHistoricalState(schema, 12);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(db.ModifyState("t", state).ok());
+    state = gen.MutateState(state, 0.3);
+  }
+  auto trm = TrmRelation::FromTemporal(*db.Find("t"));
+  ASSERT_TRUE(trm.ok()) << trm.status();
+
+  for (TransactionNumber tt = 0; tt <= db.transaction_number() + 1; ++tt) {
+    auto rolled = db.Find("t")->HistoricalAt(tt);
+    ASSERT_TRUE(rolled.ok());
+    // Full-history equivalence.
+    auto reconstructed = trm->HistoricalAsOf(tt);
+    ASSERT_TRUE(reconstructed.ok());
+    EXPECT_EQ(*reconstructed, *rolled) << "at transaction " << tt;
+    // Pointwise Time-View equivalence.
+    for (Chronon tv = 0; tv < 1000; tv += 173) {
+      auto view = trm->TimeView(tv, tt);
+      ASSERT_TRUE(view.ok());
+      EXPECT_EQ(*view, rolled->SnapshotAt(tv))
+          << "tv=" << tv << " tt=" << tt;
+    }
+  }
+}
+
+TEST_P(TrmEquivalenceTest, IncrementalMatchesBulkConversion) {
+  workload::Generator gen(GetParam() + 400);
+  const Schema schema = gen.RandomSchema();
+  TrmRelation incremental(schema);
+  Database db;
+  ASSERT_TRUE(db.DefineRelation("t", RelationType::kTemporal, schema).ok());
+  HistoricalState state = gen.RandomHistoricalState(schema, 10);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.ModifyState("t", state).ok());
+    ASSERT_TRUE(
+        incremental.ApplyVersion(state, db.transaction_number()).ok());
+    state = gen.MutateState(state, 0.4);
+  }
+  auto bulk = TrmRelation::FromTemporal(*db.Find("t"));
+  ASSERT_TRUE(bulk.ok());
+  for (TransactionNumber tt = 0; tt <= db.transaction_number(); ++tt) {
+    EXPECT_EQ(*incremental.HistoricalAsOf(tt), *bulk->HistoricalAsOf(tt));
+  }
+}
+
+// The structural limitation the paper points out: Time-View yields only a
+// snapshot (tuples valid at one instant), while ρ̂ returns the whole
+// historical state, which composes with any historical operator.
+TEST(TrmTest, TimeViewIsStrictlyLessInformative) {
+  Database db;
+  ASSERT_TRUE(
+      db.DefineRelation("t", RelationType::kTemporal, NameSchema()).ok());
+  ASSERT_TRUE(
+      db.ModifyState("t", Facts({{"ed", Interval::Make(0, 10)},
+                                 {"rick", Interval::Make(20, 30)}}))
+          .ok());
+  auto trm = TrmRelation::FromTemporal(*db.Find("t"));
+  ASSERT_TRUE(trm.ok());
+  // ρ̂ gives both facts with their full histories.
+  auto rolled = db.RollbackHistorical("t");
+  ASSERT_TRUE(rolled.ok());
+  EXPECT_EQ(rolled->size(), 2u);
+  // A single Time-View can never show both (no instant has both valid).
+  for (Chronon tv = -5; tv < 40; ++tv) {
+    auto view = trm->TimeView(tv, db.transaction_number());
+    ASSERT_TRUE(view.ok());
+    EXPECT_LE(view->size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ttra::benzvi

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "snapshot/csv.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+Schema MixedSchema() {
+  return *Schema::Make({{"id", ValueType::kInt},
+                        {"name", ValueType::kString},
+                        {"score", ValueType::kDouble},
+                        {"active", ValueType::kBool},
+                        {"seen", ValueType::kUserTime}});
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  SnapshotState state = *SnapshotState::Make(
+      MixedSchema(),
+      {Tuple{Value::Int(1), Value::String("ed"), Value::Double(2.5),
+             Value::Bool(true), Value::Time(7)}});
+  EXPECT_EQ(ToCsv(state),
+            "id,name,score,active,seen\n"
+            "1,\"ed\",2.5,true,@7\n");
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  Schema schema = *Schema::Make({{"s", ValueType::kString}});
+  SnapshotState state = *SnapshotState::Make(
+      schema, {Tuple{Value::String("a,b")}, Tuple{Value::String("q\"uote")},
+               Tuple{Value::String("")}});
+  const std::string csv = ToCsv(state);
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+  auto back = FromCsv(schema, csv);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, state);
+}
+
+TEST(CsvTest, EmbeddedNewlinesRoundTrip) {
+  Schema schema = *Schema::Make({{"s", ValueType::kString},
+                                 {"n", ValueType::kInt}});
+  SnapshotState state = *SnapshotState::Make(
+      schema, {Tuple{Value::String("line1\nline2"), Value::Int(1)},
+               Tuple{Value::String("plain"), Value::Int(2)}});
+  auto back = FromCsv(schema, ToCsv(state));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, state);
+}
+
+TEST(CsvTest, EmptyStateRoundTrips) {
+  SnapshotState state = SnapshotState::Empty(MixedSchema());
+  auto back = FromCsv(MixedSchema(), ToCsv(state));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, state);
+}
+
+TEST(CsvTest, RejectsHeaderMismatch) {
+  Schema schema = *Schema::Make({{"a", ValueType::kInt}});
+  EXPECT_EQ(FromCsv(schema, "b\n1\n").status().code(),
+            ErrorCode::kSchemaMismatch);
+  EXPECT_EQ(FromCsv(schema, "a,b\n1,2\n").status().code(),
+            ErrorCode::kSchemaMismatch);
+  EXPECT_EQ(FromCsv(schema, "").status().code(), ErrorCode::kParseError);
+}
+
+TEST(CsvTest, RejectsMalformedValues) {
+  Schema schema = *Schema::Make({{"a", ValueType::kInt},
+                                 {"b", ValueType::kBool}});
+  EXPECT_FALSE(FromCsv(schema, "a,b\nxyz,true\n").ok());
+  EXPECT_FALSE(FromCsv(schema, "a,b\n1,maybe\n").ok());
+  EXPECT_FALSE(FromCsv(schema, "a,b\n1\n").ok());          // arity
+  EXPECT_FALSE(FromCsv(schema, "a,b\n1,true,9\n").ok());   // arity
+  EXPECT_FALSE(FromCsv(schema, "a,b\n\"unterminated,true\n").ok());
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  Schema schema = *Schema::Make({{"a", ValueType::kInt}});
+  auto state = FromCsv(schema, "a\r\n1\r\n2\r\n");
+  ASSERT_TRUE(state.ok()) << state.status();
+  EXPECT_EQ(state->size(), 2u);
+}
+
+class CsvPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvPropertyTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+TEST_P(CsvPropertyTest, RandomStatesRoundTrip) {
+  workload::Generator gen(GetParam());
+  const Schema schema = gen.RandomSchema();
+  SnapshotState state = gen.RandomState(schema, 25);
+  auto back = FromCsv(schema, ToCsv(state));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, state);
+}
+
+}  // namespace
+}  // namespace ttra

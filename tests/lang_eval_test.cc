@@ -1,0 +1,428 @@
+#include <gtest/gtest.h>
+
+#include "lang/analyzer.h"
+#include "lang/evaluator.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+
+namespace ttra::lang {
+namespace {
+
+Database MustRun(std::string_view source) {
+  auto db = EvalSentence(source);
+  EXPECT_TRUE(db.ok()) << source << " → " << db.status();
+  return db.ok() ? *std::move(db) : Database();
+}
+
+SnapshotState Snap(const StateValue& v) {
+  EXPECT_TRUE(std::holds_alternative<SnapshotState>(v));
+  return std::get<SnapshotState>(v);
+}
+
+// --- The paper's running machinery end to end -----------------------------------
+
+TEST(EvaluatorTest, DefineModifyRollback) {
+  Database db = MustRun(R"(
+    define_relation(emp, rollback, (name: string, salary: int));
+    modify_state(emp, (name: string, salary: int) {("ed", 100)});
+    modify_state(emp, rho(emp, inf) union
+                      (name: string, salary: int) {("rick", 200)});
+    modify_state(emp, select[name != "ed"](rho(emp, inf)));
+  )");
+  EXPECT_EQ(db.transaction_number(), 4u);
+  // Current state: only rick.
+  auto current = db.Rollback("emp");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->size(), 1u);
+  // As of txn 3: both.
+  EXPECT_EQ(db.Rollback("emp", 3)->size(), 2u);
+  // As of txn 2: just ed.
+  EXPECT_EQ(db.Rollback("emp", 2)->size(), 1u);
+  EXPECT_TRUE(
+      db.Rollback("emp", 2)->Contains(
+          Tuple{Value::String("ed"), Value::Int(100)}));
+}
+
+TEST(EvaluatorTest, ExpressionEvaluationIsSideEffectFree) {
+  Database db = MustRun(R"(
+    define_relation(r, rollback, (n: int));
+    modify_state(r, (n: int) {(1)});
+  )");
+  const TransactionNumber before = db.transaction_number();
+  auto expr = ParseExpr("select[n > 0](rho(r, inf) union (n: int) {(9)})");
+  ASSERT_TRUE(expr.ok());
+  auto value = EvalExpr(*expr, db);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(Snap(*value).size(), 2u);
+  // E⟦·⟧ never changes the database.
+  EXPECT_EQ(db.transaction_number(), before);
+  EXPECT_EQ(db.Rollback("r")->size(), 1u);
+}
+
+TEST(EvaluatorTest, ShowCollectsOutputs) {
+  Database db;
+  std::vector<StateValue> outputs;
+  ASSERT_TRUE(::ttra::lang::Run(R"(
+    define_relation(r, snapshot, (n: int));
+    modify_state(r, (n: int) {(1), (2), (3)});
+    show(select[n >= 2](rho(r, inf)));
+    show(project[n](rho(r, inf)));
+  )", db, &outputs).ok());
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(Snap(outputs[0]).size(), 2u);
+  EXPECT_EQ(Snap(outputs[1]).size(), 3u);
+}
+
+TEST(EvaluatorTest, HistoricalAndTemporalFlow) {
+  Database db = MustRun(R"(
+    define_relation(hist, temporal, (name: string));
+    modify_state(hist, (name: string) {("ed") @ [0, 10)});
+    modify_state(hist, hrho(hist, inf) union
+                       (name: string) {("rick") @ [5, 15)});
+  )");
+  auto current = db.RollbackHistorical("hist");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->size(), 2u);
+  auto past = db.RollbackHistorical("hist", 2);
+  ASSERT_TRUE(past.ok());
+  EXPECT_EQ(past->size(), 1u);
+}
+
+TEST(EvaluatorTest, DeltaThroughTheLanguage) {
+  Database db = MustRun(R"(
+    define_relation(t, temporal, (n: int));
+    modify_state(t, (n: int) {(1) @ [0, 10), (2) @ [20, 30)});
+  )");
+  std::vector<StateValue> outputs;
+  ASSERT_TRUE(::ttra::lang::Run(
+      "show(delta[overlaps(valid, [0, 15)); valid intersect [0, 15)]"
+      "(hrho(t, inf)));",
+      db, &outputs).ok());
+  ASSERT_EQ(outputs.size(), 1u);
+  const auto& state = std::get<HistoricalState>(outputs[0]);
+  EXPECT_EQ(state.size(), 1u);
+  EXPECT_EQ(state.ValidTimeOf(Tuple{Value::Int(1)}),
+            TemporalElement::Span(0, 10));
+}
+
+TEST(EvaluatorTest, ExtendComputesValues) {
+  Database db = MustRun(R"(
+    define_relation(emp, snapshot, (name: string, salary: int));
+    modify_state(emp, (name: string, salary: int) {("ed", 100)});
+  )");
+  std::vector<StateValue> outputs;
+  ASSERT_TRUE(::ttra::lang::Run("show(extend[salary = salary + 50, bonus = salary / 10]"
+                  "(rho(emp, inf)));",
+                  db, &outputs).ok());
+  const SnapshotState state = Snap(outputs[0]);
+  ASSERT_EQ(state.size(), 1u);
+  // Definitions all read the *original* tuple: bonus = 100/10, not 150/10.
+  EXPECT_EQ(state.tuples()[0],
+            (Tuple{Value::String("ed"), Value::Int(150), Value::Int(10)}));
+}
+
+TEST(EvaluatorTest, JoinAndTimesThroughLanguage) {
+  Database db = MustRun(R"(
+    define_relation(dept, snapshot, (dept: string, floor: int));
+    define_relation(emp, snapshot, (name: string, dept: string));
+    modify_state(dept, (dept: string, floor: int) {("cs", 3)});
+    modify_state(emp, (name: string, dept: string)
+                      {("ed", "cs"), ("al", "ee")});
+  )");
+  std::vector<StateValue> outputs;
+  ASSERT_TRUE(
+      ::ttra::lang::Run("show(rho(emp, inf) join rho(dept, inf));", db, &outputs).ok());
+  EXPECT_EQ(Snap(outputs[0]).size(), 1u);
+}
+
+// --- Error paths (the companion TR's invalid expressions) ------------------------
+
+TEST(EvaluatorTest, ErrorsLeaveDatabaseUntouchedStrict) {
+  Database db = MustRun("define_relation(r, rollback, (n: int));");
+  const TransactionNumber before = db.transaction_number();
+  struct Case {
+    const char* source;
+    ErrorCode code;
+  };
+  const Case cases[] = {
+      {"modify_state(ghost, (n: int) {});", ErrorCode::kUnknownIdentifier},
+      {"define_relation(r, snapshot, (n: int));", ErrorCode::kAlreadyDefined},
+      {"show(rho(ghost, inf));", ErrorCode::kUnknownIdentifier},
+      {"show(hrho(r, inf));", ErrorCode::kInvalidRollback},
+      {"show(select[zzz = 1](rho(r, inf)));", ErrorCode::kSchemaMismatch},
+      {"show(select[n = \"s\"](rho(r, inf)));", ErrorCode::kTypeMismatch},
+      {"show(project[ghost](rho(r, inf)));", ErrorCode::kSchemaMismatch},
+      {"show(rho(r, inf) union (m: int) {});", ErrorCode::kSchemaMismatch},
+      {"show(rho(r, inf) union historical (n: int) {});",
+       ErrorCode::kTypeMismatch},
+      {"modify_state(r, historical (n: int) {});", ErrorCode::kTypeMismatch},
+      {"show(delta[true; valid](rho(r, inf)));", ErrorCode::kTypeMismatch},
+      {"delete_relation(ghost);", ErrorCode::kUnknownIdentifier},
+  };
+  for (const Case& c : cases) {
+    Status status = ::ttra::lang::Run(c.source, db);
+    EXPECT_EQ(status.code(), c.code) << c.source << " → " << status;
+    EXPECT_EQ(db.transaction_number(), before) << c.source;
+  }
+}
+
+TEST(EvaluatorTest, NonStrictModeMatchesPaperElseBranches) {
+  // With strict=false, the failing middle command is a no-op and the rest
+  // of the sentence still executes — exactly C⟦C1, C2⟧ of the paper.
+  Database db;
+  ExecOptions lax{.strict = false};
+  ASSERT_TRUE(::ttra::lang::Run(R"(
+    define_relation(r, rollback, (n: int));
+    modify_state(ghost, (n: int) {});
+    modify_state(r, (n: int) {(7)});
+  )", db, nullptr, lax).ok());
+  EXPECT_EQ(db.transaction_number(), 2u);
+  EXPECT_EQ(db.Rollback("r")->size(), 1u);
+}
+
+TEST(EvaluatorTest, RollbackToPastOnSnapshotRelationFails) {
+  Database db = MustRun(R"(
+    define_relation(s, snapshot, (n: int));
+    modify_state(s, (n: int) {(1)});
+  )");
+  Status status = ::ttra::lang::Run("show(rho(s, 1));", db);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidRollback);
+}
+
+TEST(EvaluatorTest, DivisionByZeroSurfacesInExtend) {
+  Database db = MustRun(R"(
+    define_relation(r, snapshot, (n: int));
+    modify_state(r, (n: int) {(1)});
+  )");
+  Status status = ::ttra::lang::Run("show(extend[bad = n / 0](rho(r, inf)));", db);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+// --- Scheme evolution through the language ---------------------------------------
+
+TEST(EvaluatorTest, SchemeEvolution) {
+  Database db = MustRun(R"(
+    define_relation(emp, rollback, (name: string));
+    modify_state(emp, (name: string) {("ed")});
+    modify_schema(emp, (name: string, dept: string));
+    modify_state(emp, (name: string, dept: string) {("ed", "cs")});
+  )");
+  EXPECT_EQ(db.Rollback("emp", 2)->schema().ToString(), "(name: string)");
+  EXPECT_EQ(db.Rollback("emp")->schema().ToString(),
+            "(name: string, dept: string)");
+}
+
+// --- Analyzer ----------------------------------------------------------------------
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MustRun(R"(
+      define_relation(emp, rollback, (name: string, salary: int));
+      define_relation(hist, temporal, (name: string));
+      define_relation(s, snapshot, (n: int));
+    )");
+    catalog_ = Catalog(db_);
+  }
+
+  Result<ExprType> AnalyzeSource(std::string_view source) {
+    auto expr = ParseExpr(source);
+    if (!expr.ok()) return expr.status();
+    return Analyze(*expr, catalog_);
+  }
+
+  Database db_;
+  Catalog catalog_;
+};
+
+TEST_F(AnalyzerTest, TypesRollbackExpressions) {
+  auto t = AnalyzeSource("rho(emp, inf)");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->kind, StateKind::kSnapshot);
+  EXPECT_EQ(t->schema.ToString(), "(name: string, salary: int)");
+
+  auto h = AnalyzeSource("hrho(hist, 4)");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->kind, StateKind::kHistorical);
+}
+
+TEST_F(AnalyzerTest, ResolvesPolymorphicOperators) {
+  EXPECT_TRUE(AnalyzeSource(
+                  "hrho(hist, inf) union historical (name: string) {}")
+                  .ok());
+  auto bad = AnalyzeSource("rho(emp, inf) union hrho(hist, inf)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kTypeMismatch);
+}
+
+TEST_F(AnalyzerTest, ChecksRollbackTypeRules) {
+  EXPECT_EQ(AnalyzeSource("rho(hist, inf)").status().code(),
+            ErrorCode::kInvalidRollback);
+  EXPECT_EQ(AnalyzeSource("hrho(emp, inf)").status().code(),
+            ErrorCode::kInvalidRollback);
+  EXPECT_EQ(AnalyzeSource("rho(s, 3)").status().code(),
+            ErrorCode::kInvalidRollback);
+  EXPECT_TRUE(AnalyzeSource("rho(s, inf)").ok());
+  EXPECT_EQ(AnalyzeSource("rho(ghost, inf)").status().code(),
+            ErrorCode::kUnknownIdentifier);
+}
+
+TEST_F(AnalyzerTest, DerivesSchemas) {
+  auto t = AnalyzeSource("project[salary](rho(emp, inf))");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema.ToString(), "(salary: int)");
+
+  auto x = AnalyzeSource("rho(s, inf) times rename[n -> m](rho(s, inf))");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->schema.ToString(), "(n: int, m: int)");
+
+  auto e = AnalyzeSource("extend[d = salary * 2](rho(emp, inf))");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->schema.ToString(), "(name: string, salary: int, d: int)");
+}
+
+TEST_F(AnalyzerTest, CatchesStaticErrors) {
+  EXPECT_EQ(AnalyzeSource("select[ghost = 1](rho(emp, inf))").status().code(),
+            ErrorCode::kSchemaMismatch);
+  EXPECT_EQ(AnalyzeSource("rho(s, inf) times rho(s, inf)").status().code(),
+            ErrorCode::kSchemaMismatch);  // duplicate attribute n
+  EXPECT_EQ(AnalyzeSource("delta[true; valid](rho(emp, inf))").status().code(),
+            ErrorCode::kTypeMismatch);
+  EXPECT_EQ(
+      AnalyzeSource("extend[x = name + 1](rho(emp, inf))").status().code(),
+      ErrorCode::kTypeMismatch);
+}
+
+TEST_F(AnalyzerTest, AnalyzeProgramThreadsCatalog) {
+  auto program = ParseProgram(R"(
+    define_relation(fresh, rollback, (x: int));
+    modify_state(fresh, (x: int) {(1)});
+    show(rho(fresh, inf));
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(AnalyzeProgram(*program, catalog_).ok());
+
+  auto bad = ParseProgram(R"(
+    delete_relation(emp);
+    show(rho(emp, inf));
+  )");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(AnalyzeProgram(*bad, catalog_).code(),
+            ErrorCode::kUnknownIdentifier);
+}
+
+TEST_F(AnalyzerTest, ModifyStateKindChecked) {
+  auto program = ParseProgram(
+      "modify_state(hist, rho(emp, inf) times (x: int) {});");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(AnalyzeProgram(*program, catalog_).code(),
+            ErrorCode::kTypeMismatch);
+  auto mismatched = ParseProgram("modify_state(s, (m: int) {});");
+  ASSERT_TRUE(mismatched.ok());
+  EXPECT_EQ(AnalyzeProgram(*mismatched, catalog_).code(),
+            ErrorCode::kSchemaMismatch);
+}
+
+// --- Analyzer ↔ evaluator agreement: if analysis passes, evaluation's ------
+// --- schema matches the static one. -----------------------------------------
+
+TEST_F(AnalyzerTest, StaticTypesMatchRuntime) {
+  const char* sources[] = {
+      "rho(emp, inf)",
+      "project[name](rho(emp, inf))",
+      "select[salary > 10](rho(emp, inf))",
+      "rho(s, inf) times rename[n -> m](rho(s, inf))",
+      "extend[d = salary * 2, tag = name + \"!\"](rho(emp, inf))",
+      "hrho(hist, inf) union historical (name: string) {}",
+      "delta[overlaps(valid, [0, 5)); valid](hrho(hist, inf))",
+  };
+  for (const char* source : sources) {
+    auto expr = ParseExpr(source);
+    ASSERT_TRUE(expr.ok()) << source;
+    auto static_type = Analyze(*expr, catalog_);
+    ASSERT_TRUE(static_type.ok()) << source;
+    auto value = EvalExpr(*expr, db_);
+    ASSERT_TRUE(value.ok()) << source;
+    if (std::holds_alternative<SnapshotState>(*value)) {
+      EXPECT_EQ(static_type->kind, StateKind::kSnapshot) << source;
+      EXPECT_EQ(std::get<SnapshotState>(*value).schema(),
+                static_type->schema)
+          << source;
+    } else {
+      EXPECT_EQ(static_type->kind, StateKind::kHistorical) << source;
+      EXPECT_EQ(std::get<HistoricalState>(*value).schema(),
+                static_type->schema)
+          << source;
+    }
+  }
+}
+
+// --- Printer ---------------------------------------------------------------------
+
+TEST(PrinterTest, FormatsSnapshotTable) {
+  Database db = MustRun(R"(
+    define_relation(emp, snapshot, (name: string, salary: int));
+    modify_state(emp, (name: string, salary: int) {("ed", 100)});
+  )");
+  const std::string table = FormatTable(*db.Rollback("emp"));
+  EXPECT_NE(table.find("| name"), std::string::npos);
+  EXPECT_NE(table.find("\"ed\""), std::string::npos);
+  EXPECT_NE(table.find("1 tuple(s)"), std::string::npos);
+}
+
+TEST(PrinterTest, FormatsHistoricalTableWithValidColumn) {
+  Database db = MustRun(R"(
+    define_relation(t, temporal, (n: int));
+    modify_state(t, (n: int) {(1) @ [0, 5)});
+  )");
+  const std::string table = FormatTable(*db.RollbackHistorical("t"));
+  EXPECT_NE(table.find("valid"), std::string::npos);
+  EXPECT_NE(table.find("[0, 5)"), std::string::npos);
+}
+
+TEST(PrinterTest, FormatExprTreeShapes) {
+  auto expr = ParseExpr(
+      "select[a > 1](rho(l, inf) union project[a](rho(r, 3)))");
+  ASSERT_TRUE(expr.ok());
+  const std::string tree = FormatExprTree(*expr);
+  EXPECT_EQ(tree,
+            "select[a > 1]\n"
+            "└─ union\n"
+            "   ├─ rho(l, inf)\n"
+            "   └─ project[a]\n"
+            "      └─ rho(r, 3)\n");
+}
+
+TEST(PrinterTest, FormatExprTreeConstAndSummarize) {
+  auto expr = ParseExpr(
+      "summarize[d; n = count]((d: string) {(\"x\"), (\"y\")})");
+  ASSERT_TRUE(expr.ok());
+  const std::string tree = FormatExprTree(*expr);
+  EXPECT_NE(tree.find("summarize[d; n = count]"), std::string::npos);
+  EXPECT_NE(tree.find("const (d: string) {2 tuples}"), std::string::npos);
+}
+
+TEST(ExprTest, RelationNamesCollectsRhoTargets) {
+  auto expr = ParseExpr(
+      "select[a = 1](rho(x, inf) union (rho(y, 2) minus rho(z, inf)))");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->RelationNames(),
+            (std::set<std::string>{"x", "y", "z"}));
+  auto constant = ParseExpr("(n: int) {}");
+  ASSERT_TRUE(constant.ok());
+  EXPECT_TRUE(constant->RelationNames().empty());
+}
+
+TEST(PrinterTest, DescribeDatabaseListsRelations) {
+  Database db = MustRun(R"(
+    define_relation(a, snapshot, (n: int));
+    define_relation(b, temporal, (n: int));
+  )");
+  const std::string description = DescribeDatabase(db);
+  EXPECT_NE(description.find("a : snapshot"), std::string::npos);
+  EXPECT_NE(description.find("b : temporal"), std::string::npos);
+  EXPECT_NE(description.find("transaction 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ttra::lang

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "lang/evaluator.h"
+#include "lang/parser.h"
+#include "optimizer/rewriter.h"
+#include "workload/generator.h"
+
+namespace ttra::optimizer {
+namespace {
+
+using lang::Catalog;
+using lang::EvalExpr;
+using lang::Expr;
+using lang::ParseExpr;
+using lang::StateValue;
+
+// --- Predicate utilities -------------------------------------------------------
+
+Predicate P(std::string_view source) {
+  auto p = lang::ParsePredicate(source);
+  EXPECT_TRUE(p.ok()) << source;
+  return p.ok() ? *p : Predicate();
+}
+
+TEST(PredicateSimplifyTest, ConstantPropagation) {
+  EXPECT_TRUE(SimplifyPredicate(
+                  Predicate::And(P("a = 1"), Predicate::True())) == P("a = 1"));
+  EXPECT_TRUE(SimplifyPredicate(Predicate::And(P("a = 1"),
+                                               Predicate::False()))
+                  .IsFalseLiteral());
+  EXPECT_TRUE(SimplifyPredicate(
+                  Predicate::Or(P("a = 1"), Predicate::True()))
+                  .IsTrueLiteral());
+  EXPECT_TRUE(SimplifyPredicate(
+                  Predicate::Or(P("a = 1"), Predicate::False())) == P("a = 1"));
+}
+
+TEST(PredicateSimplifyTest, DoubleNegation) {
+  EXPECT_TRUE(SimplifyPredicate(Predicate::Not(Predicate::Not(P("a = 1")))) ==
+              P("a = 1"));
+  EXPECT_TRUE(
+      SimplifyPredicate(Predicate::Not(Predicate::True())).IsFalseLiteral());
+}
+
+TEST(PredicateSimplifyTest, SplitAndRebuildConjuncts) {
+  Predicate p = P("a = 1 and b = 2 and c = 3");
+  auto conjuncts = SplitConjuncts(p);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_TRUE(AndAll(conjuncts) == p);  // left-assoc rebuild is identical
+  EXPECT_TRUE(AndAll({}).IsTrueLiteral());
+}
+
+// --- Structural rewrites -------------------------------------------------------
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = lang::EvalSentence(R"(
+      define_relation(r, rollback, (a: int, b: string));
+      modify_state(r, (a: int, b: string) {(1, "x"), (2, "y"), (3, "x")});
+      define_relation(s, rollback, (c: int, d: string));
+      modify_state(s, (c: int, d: string) {(1, "p"), (4, "q")});
+      define_relation(t, temporal, (n: int));
+      modify_state(t, (n: int) {(1) @ [0, 10), (2) @ [5, 25)});
+    )");
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = *std::move(db);
+    catalog_ = Catalog(db_);
+  }
+
+  Expr Opt(std::string_view source, RewriteStats* stats = nullptr) {
+    auto expr = ParseExpr(source);
+    EXPECT_TRUE(expr.ok()) << source;
+    return Optimize(*expr, catalog_, stats);
+  }
+
+  Database db_;
+  Catalog catalog_;
+};
+
+TEST_F(RewriteTest, SelectMerge) {
+  Expr e = Opt("select[a > 1](select[b = \"x\"](rho(r, inf)))");
+  EXPECT_EQ(e.ToString(),
+            "select[(a > 1 and b = \"x\")](rho(r, inf))");
+}
+
+TEST_F(RewriteTest, SelectTrueVanishes) {
+  EXPECT_EQ(Opt("select[true](rho(r, inf))").ToString(), "rho(r, inf)");
+}
+
+TEST_F(RewriteTest, SelectFalseBecomesEmptyConstant) {
+  Expr e = Opt("select[false](rho(r, inf))");
+  ASSERT_EQ(e.kind(), Expr::Kind::kConst);
+  EXPECT_TRUE(std::get<SnapshotState>(e.constant()).empty());
+  EXPECT_EQ(std::get<SnapshotState>(e.constant()).schema().ToString(),
+            "(a: int, b: string)");
+}
+
+TEST_F(RewriteTest, SelectDistributesOverUnionAndMinus) {
+  Expr u = Opt("select[a > 1](rho(r, inf) union rho(r, 2))");
+  EXPECT_EQ(u.ToString(),
+            "(select[a > 1](rho(r, inf)) union select[a > 1](rho(r, 2)))");
+  Expr m = Opt("select[a > 1](rho(r, inf) minus rho(r, 2))");
+  EXPECT_EQ(m.ToString(),
+            "(select[a > 1](rho(r, inf)) minus select[a > 1](rho(r, 2)))");
+}
+
+TEST_F(RewriteTest, SelectPushesThroughProductBySide) {
+  Expr e = Opt("select[a > 1 and d = \"q\" and a = c]"
+               "(rho(r, inf) times rho(s, inf))");
+  // a>1 goes left, d="q" goes right, a=c (mixed) stays on top.
+  EXPECT_EQ(e.ToString(),
+            "select[a = c]((select[a > 1](rho(r, inf)) times "
+            "select[d = \"q\"](rho(s, inf))))");
+}
+
+TEST_F(RewriteTest, ProjectAbsorbsProject) {
+  Expr e = Opt("project[a](project[a, b](rho(r, inf)))");
+  EXPECT_EQ(e.ToString(), "project[a](rho(r, inf))");
+}
+
+TEST_F(RewriteTest, FullSchemeProjectionVanishes) {
+  EXPECT_EQ(Opt("project[a, b](rho(r, inf))").ToString(), "rho(r, inf)");
+  // A permutation is NOT the identity — must be preserved.
+  EXPECT_EQ(Opt("project[b, a](rho(r, inf))").ToString(),
+            "project[b, a](rho(r, inf))");
+}
+
+TEST_F(RewriteTest, DeltaIdentityVanishes) {
+  EXPECT_EQ(Opt("delta[true; valid](hrho(t, inf))").ToString(),
+            "hrho(t, inf)");
+  EXPECT_NE(Opt("delta[true; valid intersect [0, 5)](hrho(t, inf))")
+                .ToString(),
+            "hrho(t, inf)");
+}
+
+TEST_F(RewriteTest, RulesFireThroughRollbackOfHistoricalStates) {
+  // The same rewrites apply over ρ̂ — the paper's orthogonality claim.
+  Expr e = Opt("select[n > 1](select[n < 5](hrho(t, inf)))");
+  EXPECT_EQ(e.ToString(), "select[(n > 1 and n < 5)](hrho(t, inf))");
+}
+
+TEST_F(RewriteTest, StatsCountApplications) {
+  RewriteStats stats;
+  Opt("select[true](select[true](rho(r, inf)))", &stats);
+  EXPECT_GT(stats.applications, 0);
+  EXPECT_GT(stats.passes, 0);
+}
+
+TEST_F(RewriteTest, UnknownRelationsAreLeftAlone) {
+  Catalog empty;
+  auto expr = ParseExpr("select[false](rho(ghost, inf))");
+  ASSERT_TRUE(expr.ok());
+  Expr e = Optimize(*expr, empty);
+  // σ_false folding needs the schema; without a catalog entry the
+  // expression is preserved rather than broken.
+  EXPECT_EQ(e.ToString(), "select[false](rho(ghost, inf))");
+}
+
+// --- Equivalence: every rewrite preserves E⟦·⟧ (experiment E1) -------------------
+
+class RewriteEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+TEST_P(RewriteEquivalenceTest, OptimizedExpressionsEvaluateIdentically) {
+  workload::Generator gen(GetParam());
+  const Schema schema = gen.RandomSchema();
+  Database db;
+  ASSERT_TRUE(db.DefineRelation("r", RelationType::kRollback, schema).ok());
+  SnapshotState state = gen.RandomState(schema, 20);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.ModifyState("r", state).ok());
+    state = gen.MutateState(state, 0.4);
+  }
+  Catalog catalog(db);
+
+  std::vector<Expr> bases;
+  bases.push_back(Expr::Rollback("r", std::nullopt, false));
+  bases.push_back(Expr::Rollback("r", 3, false));
+  bases.push_back(Expr::Const(gen.RandomState(schema, 10)));
+
+  for (int trial = 0; trial < 10; ++trial) {
+    Expr original = gen.RandomExpr(bases, schema, 4);
+    Expr optimized = Optimize(original, catalog);
+    auto a = EvalExpr(original, db);
+    auto b = EvalExpr(optimized, db);
+    ASSERT_TRUE(a.ok()) << original.ToString();
+    ASSERT_TRUE(b.ok()) << optimized.ToString();
+    EXPECT_TRUE(*a == *b) << "original:  " << original.ToString()
+                          << "\noptimized: " << optimized.ToString();
+  }
+}
+
+TEST_P(RewriteEquivalenceTest, HistoricalExpressionsToo) {
+  workload::Generator gen(GetParam() + 5000);
+  const Schema schema = gen.RandomSchema();
+  Database db;
+  ASSERT_TRUE(db.DefineRelation("t", RelationType::kTemporal, schema).ok());
+  HistoricalState state = gen.RandomHistoricalState(schema, 12);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(db.ModifyState("t", state).ok());
+    state = gen.MutateState(state, 0.4);
+  }
+  Catalog catalog(db);
+
+  std::vector<Expr> bases;
+  bases.push_back(Expr::Rollback("t", std::nullopt, true));
+  bases.push_back(Expr::Rollback("t", 2, true));
+
+  for (int trial = 0; trial < 8; ++trial) {
+    Expr original = gen.RandomExpr(bases, schema, 3);
+    Expr optimized = Optimize(original, catalog);
+    auto a = EvalExpr(original, db);
+    auto b = EvalExpr(optimized, db);
+    ASSERT_TRUE(a.ok()) << original.ToString();
+    ASSERT_TRUE(b.ok()) << optimized.ToString();
+    EXPECT_TRUE(*a == *b) << "original:  " << original.ToString()
+                          << "\noptimized: " << optimized.ToString();
+  }
+}
+
+TEST_P(RewriteEquivalenceTest, ProductPushdownEquivalence) {
+  workload::Generator gen(GetParam() + 9000);
+  Schema left = *Schema::Make({{"a", ValueType::kInt},
+                               {"b", ValueType::kString}});
+  Schema right = *Schema::Make({{"c", ValueType::kInt},
+                                {"d", ValueType::kString}});
+  Database db;
+  ASSERT_TRUE(db.DefineRelation("l", RelationType::kRollback, left).ok());
+  ASSERT_TRUE(db.DefineRelation("r", RelationType::kRollback, right).ok());
+  ASSERT_TRUE(db.ModifyState("l", gen.RandomState(left, 15)).ok());
+  ASSERT_TRUE(db.ModifyState("r", gen.RandomState(right, 15)).ok());
+  Catalog catalog(db);
+
+  Schema product = *left.Concat(right);
+  Expr original = Expr::Select(
+      gen.RandomPredicate(product, 3),
+      Expr::Binary(lang::BinaryOp::kTimes,
+                   Expr::Rollback("l", std::nullopt, false),
+                   Expr::Rollback("r", std::nullopt, false)));
+  Expr optimized = Optimize(original, catalog);
+  auto a = EvalExpr(original, db);
+  auto b = EvalExpr(optimized, db);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a == *b) << "original:  " << original.ToString()
+                        << "\noptimized: " << optimized.ToString();
+}
+
+}  // namespace
+}  // namespace ttra::optimizer

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include "lang/evaluator.h"
+#include "quel/quel.h"
+
+namespace ttra::quel {
+namespace {
+
+using lang::Catalog;
+using lang::StateValue;
+
+class QuelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = lang::EvalSentence(R"(
+      define_relation(emp, rollback, (name: string, salary: int));
+      modify_state(emp, (name: string, salary: int)
+                        {("ed", 100), ("rick", 200)});
+    )");
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = *std::move(db);
+    catalog_ = Catalog(db_);
+  }
+
+  /// Parses, compiles, and executes one Quel statement.
+  Status RunQuel(std::string_view source,
+                 std::vector<StateValue>* outputs = nullptr) {
+    auto stmt = ParseQuel(source);
+    if (!stmt.ok()) return stmt.status();
+    auto compiled = CompileQuel(*stmt, Catalog(db_));
+    if (!compiled.ok()) return compiled.status();
+    return lang::ExecStmt(*compiled, db_, outputs);
+  }
+
+  SnapshotState Current() { return *db_.Rollback("emp"); }
+
+  Database db_;
+  Catalog catalog_;
+};
+
+// --- Parsing ------------------------------------------------------------------
+
+TEST_F(QuelTest, ParsesAppend) {
+  auto stmt = ParseQuel(R"(append to emp (name = "al", salary = 50))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& append = std::get<AppendStmt>(*stmt);
+  EXPECT_EQ(append.relation, "emp");
+  ASSERT_EQ(append.values.size(), 2u);
+  EXPECT_EQ(append.values[0].first, "name");
+}
+
+TEST_F(QuelTest, ParsesDeleteWithAndWithoutWhere) {
+  auto with = ParseQuel("delete emp where salary < 100");
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(std::get<DeleteStmt>(*with).where.ToString(), "salary < 100");
+  auto without = ParseQuel("delete emp");
+  ASSERT_TRUE(without.ok());
+  EXPECT_TRUE(std::get<DeleteStmt>(*without).where.IsTrueLiteral());
+}
+
+TEST_F(QuelTest, ParsesReplaceAndRetrieve) {
+  auto rep = ParseQuel(
+      R"(replace emp set salary = salary + 10 where name = "ed")");
+  ASSERT_TRUE(rep.ok()) << rep.status();
+  const auto& replace = std::get<ReplaceStmt>(*rep);
+  EXPECT_EQ(replace.assignments.size(), 1u);
+  auto ret = ParseQuel("retrieve emp (name) where salary > 150");
+  ASSERT_TRUE(ret.ok());
+  const auto& retrieve = std::get<RetrieveStmt>(*ret);
+  EXPECT_EQ(retrieve.attributes, (std::vector<std::string>{"name"}));
+}
+
+TEST_F(QuelTest, ParseErrors) {
+  EXPECT_FALSE(ParseQuel("append emp (x = 1)").ok());       // missing 'to'
+  EXPECT_FALSE(ParseQuel("replace emp salary = 1").ok());   // missing 'set'
+  EXPECT_FALSE(ParseQuel("frobnicate emp").ok());
+  EXPECT_FALSE(ParseQuel("").ok());
+}
+
+TEST_F(QuelTest, ParsesProgramOfStatements) {
+  auto stmts = ParseQuelProgram(R"(
+    append to emp (name = "a", salary = 1);
+    delete emp where salary < 1;
+    retrieve emp
+  )");
+  ASSERT_TRUE(stmts.ok()) << stmts.status();
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+// --- Compilation shape (the paper's mapping) -------------------------------------
+
+TEST_F(QuelTest, AppendCompilesToUnionWithConstant) {
+  auto stmt = ParseQuel(R"(append to emp (salary = 50, name = "al"))");
+  ASSERT_TRUE(stmt.ok());
+  auto compiled = CompileQuel(*stmt, catalog_);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  // modify_state(emp, ρ(emp, ∞) ∪ {("al", 50)}) — scheme order restored.
+  EXPECT_EQ(lang::StmtToString(*compiled),
+            "modify_state(emp, (rho(emp, inf) union "
+            "(name: string, salary: int) {(\"al\", 50)}))");
+}
+
+TEST_F(QuelTest, DeleteCompilesToNegatedSelection) {
+  auto stmt = ParseQuel("delete emp where salary < 100");
+  ASSERT_TRUE(stmt.ok());
+  auto compiled = CompileQuel(*stmt, catalog_);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(lang::StmtToString(*compiled),
+            "modify_state(emp, select[not (salary < 100)](rho(emp, inf)))");
+}
+
+TEST_F(QuelTest, ReplaceCompilesToUnionOfUntouchedAndExtended) {
+  auto stmt =
+      ParseQuel(R"(replace emp set salary = salary * 2 where name = "ed")");
+  ASSERT_TRUE(stmt.ok());
+  auto compiled = CompileQuel(*stmt, catalog_);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(
+      lang::StmtToString(*compiled),
+      "modify_state(emp, (select[not (name = \"ed\")](rho(emp, inf)) union "
+      "extend[salary = (salary * 2)](select[name = \"ed\"](rho(emp, "
+      "inf)))))");
+}
+
+TEST_F(QuelTest, RetrieveCompilesToShow) {
+  auto stmt = ParseQuel("retrieve emp (name) where salary > 150");
+  ASSERT_TRUE(stmt.ok());
+  auto compiled = CompileQuel(*stmt, catalog_);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(lang::StmtToString(*compiled),
+            "show(project[name](select[salary > 150](rho(emp, inf))))");
+}
+
+// --- Compile-time checks ------------------------------------------------------------
+
+TEST_F(QuelTest, AppendValidatesAssignments) {
+  EXPECT_EQ(RunQuel("append to ghost (x = 1)").code(),
+            ErrorCode::kUnknownIdentifier);
+  EXPECT_EQ(RunQuel(R"(append to emp (name = "x"))").code(),
+            ErrorCode::kInvalidArgument);  // salary unassigned
+  EXPECT_EQ(RunQuel(R"(append to emp (name = "x", salary = 1, name = "y"))")
+                .code(),
+            ErrorCode::kInvalidArgument);  // duplicate
+  EXPECT_EQ(
+      RunQuel(R"(append to emp (name = "x", salary = 1, extra = 2))").code(),
+      ErrorCode::kSchemaMismatch);
+  EXPECT_EQ(
+      RunQuel(R"(append to emp (name = "x", salary = salary + 1))").code(),
+      ErrorCode::kInvalidArgument);  // non-constant value
+}
+
+TEST_F(QuelTest, ReplaceValidatesAttributes) {
+  EXPECT_EQ(RunQuel("replace emp set ghost = 1").code(),
+            ErrorCode::kSchemaMismatch);
+  EXPECT_EQ(RunQuel("replace ghost set x = 1").code(),
+            ErrorCode::kUnknownIdentifier);
+}
+
+// --- End-to-end semantics: the update operations behave like Quel's ---------------
+
+TEST_F(QuelTest, AppendAddsTuple) {
+  ASSERT_TRUE(RunQuel(R"(append to emp (name = "al", salary = 5 * 10))").ok());
+  SnapshotState state = Current();
+  EXPECT_EQ(state.size(), 3u);
+  EXPECT_TRUE(state.Contains(Tuple{Value::String("al"), Value::Int(50)}));
+}
+
+TEST_F(QuelTest, DeleteRemovesMatching) {
+  ASSERT_TRUE(RunQuel("delete emp where salary < 150").ok());
+  SnapshotState state = Current();
+  EXPECT_EQ(state.size(), 1u);
+  EXPECT_TRUE(state.Contains(Tuple{Value::String("rick"), Value::Int(200)}));
+}
+
+TEST_F(QuelTest, DeleteWithoutWhereEmpties) {
+  ASSERT_TRUE(RunQuel("delete emp").ok());
+  EXPECT_TRUE(Current().empty());
+}
+
+TEST_F(QuelTest, ReplaceUpdatesMatchingOnly) {
+  ASSERT_TRUE(
+      RunQuel(R"(replace emp set salary = salary + 5 where name = "ed")")
+          .ok());
+  SnapshotState state = Current();
+  EXPECT_TRUE(state.Contains(Tuple{Value::String("ed"), Value::Int(105)}));
+  EXPECT_TRUE(state.Contains(Tuple{Value::String("rick"), Value::Int(200)}));
+}
+
+TEST_F(QuelTest, ReplaceWithoutWhereUpdatesAll) {
+  ASSERT_TRUE(RunQuel("replace emp set salary = 0").ok());
+  const SnapshotState state = Current();
+  for (const Tuple& t : state.tuples()) {
+    EXPECT_EQ(t.at(1), Value::Int(0));
+  }
+}
+
+TEST_F(QuelTest, RetrieveProducesOutput) {
+  std::vector<StateValue> outputs;
+  ASSERT_TRUE(RunQuel("retrieve emp (name) where salary > 150", &outputs).ok());
+  ASSERT_EQ(outputs.size(), 1u);
+  const auto& state = std::get<SnapshotState>(outputs[0]);
+  EXPECT_EQ(state.size(), 1u);
+  EXPECT_TRUE(state.Contains(Tuple{Value::String("rick")}));
+}
+
+TEST_F(QuelTest, UpdatesAreTransactionsVisibleToRollback) {
+  // Each Quel update is one modify_state, hence one transaction — the
+  // paper's benefit: the calculus update maps onto the algebra and the
+  // rollback operator sees every step.
+  const TransactionNumber before = db_.transaction_number();
+  ASSERT_TRUE(RunQuel(R"(append to emp (name = "a", salary = 1))").ok());
+  ASSERT_TRUE(RunQuel("delete emp where salary >= 100").ok());
+  EXPECT_EQ(db_.transaction_number(), before + 2);
+  EXPECT_EQ(db_.Rollback("emp", before)->size(), 2u);
+  EXPECT_EQ(db_.Rollback("emp", before + 1)->size(), 3u);
+  EXPECT_EQ(db_.Rollback("emp", before + 2)->size(), 1u);
+}
+
+TEST_F(QuelTest, CompileQuelProgramRunsEndToEnd) {
+  auto program = CompileQuelProgram(R"(
+    append to emp (name = "a", salary = 10);
+    replace emp set salary = salary + 1 where name = "a";
+    retrieve emp (salary) where name = "a"
+  )", catalog_);
+  ASSERT_TRUE(program.ok()) << program.status();
+  std::vector<StateValue> outputs;
+  ASSERT_TRUE(lang::ExecProgram(*program, db_, &outputs).ok());
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_TRUE(std::get<SnapshotState>(outputs[0])
+                  .Contains(Tuple{Value::Int(11)}));
+}
+
+// --- TQuel-style temporal clauses -------------------------------------------------
+
+class QuelTemporalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = lang::EvalSentence(R"(
+      define_relation(emp, rollback, (name: string, salary: int));
+      modify_state(emp, (name: string, salary: int) {("ed", 100)});
+      modify_state(emp, (name: string, salary: int)
+                        {("ed", 100), ("rick", 200)});
+      define_relation(hist, temporal, (name: string));
+      modify_state(hist, (name: string) {("ed") @ [0, 10)});
+      modify_state(hist, (name: string) {("ed") @ [0, 10),
+                                         ("rick") @ [5, 25)});
+    )");
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = *std::move(db);
+  }
+
+  Result<StateValue> RunRetrieve(std::string_view source) {
+    auto stmt = ParseQuel(source);
+    if (!stmt.ok()) return stmt.status();
+    auto compiled = CompileQuel(*stmt, Catalog(db_));
+    if (!compiled.ok()) return compiled.status();
+    std::vector<StateValue> outputs;
+    TTRA_RETURN_IF_ERROR(lang::ExecStmt(*compiled, db_, &outputs));
+    if (outputs.size() != 1) return InternalError("expected one output");
+    return outputs[0];
+  }
+
+  Database db_;
+};
+
+TEST_F(QuelTemporalTest, AsOfRollsBack) {
+  auto now = RunRetrieve("retrieve emp");
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(std::get<SnapshotState>(*now).size(), 2u);
+  auto past = RunRetrieve("retrieve emp as of 2");
+  ASSERT_TRUE(past.ok()) << past.status();
+  EXPECT_EQ(std::get<SnapshotState>(*past).size(), 1u);
+}
+
+TEST_F(QuelTemporalTest, AsOfComposesWithWhereAndProjection) {
+  auto result =
+      RunRetrieve("retrieve emp (name) as of 3 where salary >= 200");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& state = std::get<SnapshotState>(*result);
+  EXPECT_EQ(state.size(), 1u);
+  EXPECT_TRUE(state.Contains(Tuple{Value::String("rick")}));
+}
+
+TEST_F(QuelTemporalTest, WhenOverlapsSlicesValidTime) {
+  auto result = RunRetrieve("retrieve hist when overlaps [0, 5)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& state = std::get<HistoricalState>(*result);
+  EXPECT_EQ(state.size(), 1u);  // only ed's history intersects [0, 5)
+  EXPECT_EQ(state.ValidTimeOf(Tuple{Value::String("ed")}),
+            TemporalElement::Span(0, 5));
+}
+
+TEST_F(QuelTemporalTest, WhenAndAsOfTogether) {
+  // As of txn 5 the database only knew ed; rick's fact arrived at txn 6.
+  auto result =
+      RunRetrieve("retrieve hist as of 5 when overlaps [0, inf)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(std::get<HistoricalState>(*result).size(), 1u);
+  auto later = RunRetrieve("retrieve hist as of 6 when overlaps [0, inf)");
+  ASSERT_TRUE(later.ok());
+  EXPECT_EQ(std::get<HistoricalState>(*later).size(), 2u);
+}
+
+TEST_F(QuelTemporalTest, ClauseTypeRules) {
+  EXPECT_EQ(RunRetrieve("retrieve emp when overlaps [0, 5)").status().code(),
+            ErrorCode::kTypeMismatch);
+  auto db2 = lang::EvalSentence(
+      "define_relation(s, snapshot, (n: int));"
+      "modify_state(s, (n: int) {(1)});");
+  ASSERT_TRUE(db2.ok());
+  auto stmt = ParseQuel("retrieve s as of 1");
+  ASSERT_TRUE(stmt.ok());
+  auto compiled = CompileQuel(*stmt, Catalog(*db2));
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), ErrorCode::kInvalidRollback);
+}
+
+TEST_F(QuelTemporalTest, ParsesMultiIntervalWindows) {
+  auto stmt = ParseQuel("retrieve hist when overlaps [0, 3) u [20, inf)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& retrieve = std::get<RetrieveStmt>(*stmt);
+  ASSERT_TRUE(retrieve.when_overlaps.has_value());
+  EXPECT_EQ(retrieve.when_overlaps->intervals().size(), 2u);
+}
+
+// --- Aggregate clause ---------------------------------------------------------------
+
+TEST_F(QuelTest, ComputeCompilesToSummarize) {
+  auto stmt = ParseQuel(
+      "retrieve emp compute n = count, total = sum(salary) by dept "
+      "where salary > 0");
+  // 'dept' is not in the scheme — but compilation does not resolve
+  // attributes for compute; evaluation will. Use a schema-valid variant:
+  stmt = ParseQuel(
+      "retrieve emp compute n = count, total = sum(salary) where salary > 0");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  auto compiled = CompileQuel(*stmt, catalog_);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_EQ(lang::StmtToString(*compiled),
+            "show(summarize[; n = count, total = sum(salary)]"
+            "(select[salary > 0](rho(emp, inf))))");
+}
+
+TEST_F(QuelTest, ComputeEvaluates) {
+  std::vector<StateValue> outputs;
+  ASSERT_TRUE(
+      RunQuel("retrieve emp compute n = count, hi = max(salary)", &outputs)
+          .ok());
+  ASSERT_EQ(outputs.size(), 1u);
+  const auto& state = std::get<SnapshotState>(outputs[0]);
+  ASSERT_EQ(state.size(), 1u);
+  EXPECT_EQ(state.tuples()[0], (Tuple{Value::Int(2), Value::Int(200)}));
+}
+
+TEST_F(QuelTest, ComputeByGroups) {
+  // Add a second cs-row so grouping matters.
+  ASSERT_TRUE(RunQuel(R"(append to emp (name = "al", salary = 100))").ok());
+  std::vector<StateValue> outputs;
+  ASSERT_TRUE(
+      RunQuel("retrieve emp compute n = count by salary", &outputs).ok());
+  const auto& state = std::get<SnapshotState>(outputs[0]);
+  EXPECT_EQ(state.size(), 2u);  // groups: salary 100 (×2), salary 200 (×1)
+  EXPECT_TRUE(state.Contains(Tuple{Value::Int(100), Value::Int(2)}));
+  EXPECT_TRUE(state.Contains(Tuple{Value::Int(200), Value::Int(1)}));
+}
+
+TEST_F(QuelTest, ComputeRejectsAttributeList) {
+  EXPECT_FALSE(ParseQuel("retrieve emp (name) compute n = count").ok());
+}
+
+// --- Oracle test: the compiled algebra matches a direct reference ---------------
+// --- implementation of the update semantics. ------------------------------------
+
+TEST_F(QuelTest, CompiledSemanticsMatchReferenceImplementation) {
+  // Reference: delete = filter, computed directly on the tuple set.
+  SnapshotState before = Current();
+  ASSERT_TRUE(RunQuel("delete emp where salary >= 200").ok());
+  std::vector<Tuple> expected;
+  for (const Tuple& t : before.tuples()) {
+    if (!(t.at(1).AsInt() >= 200)) expected.push_back(t);
+  }
+  EXPECT_EQ(Current(),
+            *SnapshotState::Make(before.schema(), std::move(expected)));
+}
+
+}  // namespace
+}  // namespace ttra::quel

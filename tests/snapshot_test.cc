@@ -1,0 +1,464 @@
+#include <gtest/gtest.h>
+
+#include "snapshot/operators.h"
+#include "snapshot/predicate.h"
+#include "snapshot/schema.h"
+#include "snapshot/state.h"
+#include "snapshot/value.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+namespace ops = snapshot_ops;
+
+Schema MakeSchema(std::vector<Attribute> attrs) {
+  return *Schema::Make(std::move(attrs));
+}
+
+const Schema& TwoCol() {
+  static const Schema* schema = new Schema(MakeSchema(
+      {{"id", ValueType::kInt}, {"name", ValueType::kString}}));
+  return *schema;
+}
+
+SnapshotState State(std::vector<Tuple> tuples) {
+  return *SnapshotState::Make(TwoCol(), std::move(tuples));
+}
+
+Tuple Row(int64_t id, std::string name) {
+  return Tuple{Value::Int(id), Value::String(std::move(name))};
+}
+
+// --- Value ------------------------------------------------------------------
+
+TEST(ValueTest, TypeAndAccessors) {
+  EXPECT_EQ(Value::Int(7).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Time(99).AsTime().ticks, 99);
+}
+
+TEST(ValueTest, ToStringLiterals) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Double(4).ToString(), "4.0");  // round-trips as double
+  EXPECT_EQ(Value::String("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Time(12).ToString(), "@12");
+}
+
+TEST(ValueTest, CompareWithinType) {
+  auto cmp = [](const Value& a, const Value& b) {
+    return *Value::Compare(a, b);
+  };
+  EXPECT_LT(cmp(Value::Int(1), Value::Int(2)), 0);
+  EXPECT_EQ(cmp(Value::String("a"), Value::String("a")), 0);
+  EXPECT_GT(cmp(Value::Time(5), Value::Time(1)), 0);
+  EXPECT_LT(cmp(Value::Bool(false), Value::Bool(true)), 0);
+}
+
+TEST(ValueTest, CompareIntDoubleIsNumeric) {
+  EXPECT_EQ(*Value::Compare(Value::Int(2), Value::Double(2.0)), 0);
+  EXPECT_LT(*Value::Compare(Value::Int(2), Value::Double(2.5)), 0);
+  EXPECT_GT(*Value::Compare(Value::Double(3.0), Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareAcrossTypesFails) {
+  auto r = Value::Compare(Value::Int(1), Value::String("1"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kTypeMismatch);
+  EXPECT_FALSE(Value::Compare(Value::Bool(true), Value::Time(1)).ok());
+}
+
+TEST(ValueTest, HashRespectsEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  // Same payload, different type should hash differently.
+  EXPECT_NE(Value::Int(5).Hash(), Value::Time(5).Hash());
+}
+
+TEST(ValueTest, ParseValueTypeRoundTrip) {
+  for (ValueType t : {ValueType::kInt, ValueType::kDouble, ValueType::kString,
+                      ValueType::kBool, ValueType::kUserTime}) {
+    auto parsed = ParseValueType(ValueTypeName(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(ParseValueType("float").ok());
+}
+
+// --- Schema -----------------------------------------------------------------
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  auto r = Schema::Make({{"a", ValueType::kInt}, {"a", ValueType::kBool}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kSchemaMismatch);
+}
+
+TEST(SchemaTest, MakeRejectsNonIdentifiers) {
+  EXPECT_FALSE(Schema::Make({{"1bad", ValueType::kInt}}).ok());
+  EXPECT_FALSE(Schema::Make({{"a b", ValueType::kInt}}).ok());
+  EXPECT_TRUE(Schema::Make({}).ok());
+}
+
+TEST(SchemaTest, IndexOfAndNames) {
+  const Schema& s = TwoCol();
+  EXPECT_EQ(s.IndexOf("id"), 0u);
+  EXPECT_EQ(s.IndexOf("name"), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+  EXPECT_EQ(s.Names(), (std::vector<std::string>{"id", "name"}));
+}
+
+TEST(SchemaTest, ProjectKeepsOrderGiven) {
+  auto projected = TwoCol().Project({"name", "id"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->Names(), (std::vector<std::string>{"name", "id"}));
+  EXPECT_FALSE(TwoCol().Project({"zzz"}).ok());
+}
+
+TEST(SchemaTest, ConcatRequiresDisjointNames) {
+  Schema other = MakeSchema({{"salary", ValueType::kInt}});
+  auto combined = TwoCol().Concat(other);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->size(), 3u);
+  EXPECT_FALSE(TwoCol().Concat(TwoCol()).ok());
+}
+
+TEST(SchemaTest, Rename) {
+  auto renamed = TwoCol().Rename("id", "key");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(renamed->IndexOf("key").has_value());
+  EXPECT_FALSE(renamed->IndexOf("id").has_value());
+  EXPECT_FALSE(TwoCol().Rename("missing", "x").ok());
+  EXPECT_FALSE(TwoCol().Rename("id", "name").ok());
+}
+
+TEST(SchemaTest, ToStringForm) {
+  EXPECT_EQ(TwoCol().ToString(), "(id: int, name: string)");
+  EXPECT_EQ(MakeSchema({}).ToString(), "()");
+}
+
+// --- Tuple / State ------------------------------------------------------------
+
+TEST(TupleTest, ConformsToChecksArityAndTypes) {
+  EXPECT_TRUE(Row(1, "a").ConformsTo(TwoCol()).ok());
+  EXPECT_FALSE(Tuple{Value::Int(1)}.ConformsTo(TwoCol()).ok());
+  Tuple wrong{Value::String("x"), Value::String("y")};
+  auto status = wrong.ConformsTo(TwoCol());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kTypeMismatch);
+}
+
+TEST(StateTest, MakeCanonicalizesSortedUnique) {
+  SnapshotState s = State({Row(2, "b"), Row(1, "a"), Row(2, "b")});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.tuples()[0], Row(1, "a"));
+  EXPECT_EQ(s.tuples()[1], Row(2, "b"));
+}
+
+TEST(StateTest, EqualityIsSetEquality) {
+  EXPECT_EQ(State({Row(1, "a"), Row(2, "b")}),
+            State({Row(2, "b"), Row(1, "a")}));
+  EXPECT_NE(State({Row(1, "a")}), State({Row(1, "b")}));
+}
+
+TEST(StateTest, MakeRejectsNonConformingTuple) {
+  auto r = SnapshotState::Make(TwoCol(), {Tuple{Value::Bool(true)}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(StateTest, Contains) {
+  SnapshotState s = State({Row(1, "a"), Row(3, "c")});
+  EXPECT_TRUE(s.Contains(Row(1, "a")));
+  EXPECT_FALSE(s.Contains(Row(2, "b")));
+}
+
+TEST(StateTest, ToStringLiteralForm) {
+  SnapshotState s = State({Row(1, "a")});
+  EXPECT_EQ(s.ToString(), "(id: int, name: string) {(1, \"a\")}");
+  EXPECT_EQ(SnapshotState::Empty(MakeSchema({})).ToString(), "() {}");
+}
+
+// --- Predicates ---------------------------------------------------------------
+
+TEST(PredicateTest, ComparisonEval) {
+  Predicate p = Predicate::AttrCompare("id", CompareOp::kGt, Value::Int(1));
+  EXPECT_FALSE(*p.Eval(TwoCol(), Row(1, "a")));
+  EXPECT_TRUE(*p.Eval(TwoCol(), Row(2, "b")));
+}
+
+TEST(PredicateTest, AllComparisonOps) {
+  auto eval = [](CompareOp op, int64_t lhs, int64_t rhs) {
+    Predicate p = Predicate::Comparison(Operand::Const(Value::Int(lhs)), op,
+                                        Operand::Const(Value::Int(rhs)));
+    return *p.Eval(Schema(), Tuple{});
+  };
+  EXPECT_TRUE(eval(CompareOp::kEq, 1, 1));
+  EXPECT_FALSE(eval(CompareOp::kEq, 1, 2));
+  EXPECT_TRUE(eval(CompareOp::kNe, 1, 2));
+  EXPECT_TRUE(eval(CompareOp::kLt, 1, 2));
+  EXPECT_TRUE(eval(CompareOp::kLe, 2, 2));
+  EXPECT_TRUE(eval(CompareOp::kGt, 3, 2));
+  EXPECT_TRUE(eval(CompareOp::kGe, 2, 2));
+  EXPECT_FALSE(eval(CompareOp::kGe, 1, 2));
+}
+
+TEST(PredicateTest, LogicalConnectivesShortCircuit) {
+  Predicate id_pos = Predicate::AttrCompare("id", CompareOp::kGt,
+                                            Value::Int(0));
+  // The right operand would error (unknown attribute), but short-circuit
+  // evaluation never reaches it.
+  Predicate bad = Predicate::AttrCompare("zzz", CompareOp::kEq,
+                                         Value::Int(0));
+  Predicate or_pred = Predicate::Or(id_pos, bad);
+  EXPECT_TRUE(*or_pred.Eval(TwoCol(), Row(5, "x")));
+  Predicate and_pred = Predicate::And(Predicate::Not(id_pos), bad);
+  EXPECT_FALSE(*and_pred.Eval(TwoCol(), Row(5, "x")));
+}
+
+TEST(PredicateTest, EvalErrorsOnUnknownAttribute) {
+  Predicate p = Predicate::AttrCompare("zzz", CompareOp::kEq, Value::Int(0));
+  auto r = p.Eval(TwoCol(), Row(1, "a"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kSchemaMismatch);
+}
+
+TEST(PredicateTest, ValidateCatchesTypeMismatch) {
+  Predicate p = Predicate::AttrCompare("id", CompareOp::kEq,
+                                       Value::String("x"));
+  auto status = p.Validate(TwoCol());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kTypeMismatch);
+  EXPECT_TRUE(Predicate::AttrCompare("id", CompareOp::kLt, Value::Double(1.5))
+                  .Validate(TwoCol())
+                  .ok());  // numeric mixing allowed
+}
+
+TEST(PredicateTest, AttributeNamesAndRename) {
+  Predicate p = Predicate::And(
+      Predicate::AttrCompare("id", CompareOp::kGt, Value::Int(0)),
+      Predicate::Not(
+          Predicate::AttrCompare("name", CompareOp::kEq,
+                                 Value::String("x"))));
+  EXPECT_EQ(p.AttributeNames(), (std::set<std::string>{"id", "name"}));
+  Predicate renamed = p.RenameAttribute("id", "key");
+  EXPECT_EQ(renamed.AttributeNames(), (std::set<std::string>{"key", "name"}));
+}
+
+TEST(PredicateTest, ToStringAndEquality) {
+  Predicate p = Predicate::Or(
+      Predicate::AttrCompare("id", CompareOp::kLe, Value::Int(3)),
+      Predicate::False());
+  EXPECT_EQ(p.ToString(), "(id <= 3 or false)");
+  Predicate q = Predicate::Or(
+      Predicate::AttrCompare("id", CompareOp::kLe, Value::Int(3)),
+      Predicate::False());
+  EXPECT_EQ(p, q);
+  EXPECT_FALSE(p == Predicate::True());
+}
+
+// --- Operators -----------------------------------------------------------------
+
+TEST(OperatorsTest, UnionMergesSets) {
+  auto r = ops::Union(State({Row(1, "a"), Row(2, "b")}),
+                      State({Row(2, "b"), Row(3, "c")}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, State({Row(1, "a"), Row(2, "b"), Row(3, "c")}));
+}
+
+TEST(OperatorsTest, UnionRequiresIdenticalSchemas) {
+  SnapshotState other = *SnapshotState::Make(
+      MakeSchema({{"x", ValueType::kInt}}), {Tuple{Value::Int(1)}});
+  auto r = ops::Union(State({}), other);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kSchemaMismatch);
+}
+
+TEST(OperatorsTest, Difference) {
+  auto r = ops::Difference(State({Row(1, "a"), Row(2, "b")}),
+                           State({Row(2, "b"), Row(9, "z")}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, State({Row(1, "a")}));
+}
+
+TEST(OperatorsTest, ProductConcatenatesTuples) {
+  SnapshotState nums = *SnapshotState::Make(
+      MakeSchema({{"n", ValueType::kInt}}),
+      {Tuple{Value::Int(1)}, Tuple{Value::Int(2)}});
+  SnapshotState flags = *SnapshotState::Make(
+      MakeSchema({{"f", ValueType::kBool}}), {Tuple{Value::Bool(true)}});
+  auto r = ops::Product(nums, flags);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->schema().Names(), (std::vector<std::string>{"n", "f"}));
+  EXPECT_TRUE(r->Contains(Tuple{Value::Int(1), Value::Bool(true)}));
+}
+
+TEST(OperatorsTest, ProductRejectsNameCollision) {
+  EXPECT_FALSE(ops::Product(State({}), State({})).ok());
+}
+
+TEST(OperatorsTest, ProjectDropsDuplicates) {
+  auto r = ops::Project(State({Row(1, "same"), Row(2, "same")}), {"name"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->tuples()[0], Tuple{Value::String("same")});
+}
+
+TEST(OperatorsTest, ProjectUnknownAttributeFails) {
+  EXPECT_FALSE(ops::Project(State({}), {"ghost"}).ok());
+}
+
+TEST(OperatorsTest, SelectFilters) {
+  Predicate p = Predicate::AttrCompare("id", CompareOp::kGe, Value::Int(2));
+  auto r = ops::Select(State({Row(1, "a"), Row(2, "b"), Row(3, "c")}), p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, State({Row(2, "b"), Row(3, "c")}));
+}
+
+TEST(OperatorsTest, SelectValidatesPredicate) {
+  Predicate p = Predicate::AttrCompare("ghost", CompareOp::kEq,
+                                       Value::Int(0));
+  EXPECT_FALSE(ops::Select(State({Row(1, "a")}), p).ok());
+}
+
+TEST(OperatorsTest, IntersectMatchesDifferenceIdentity) {
+  SnapshotState a = State({Row(1, "a"), Row(2, "b"), Row(3, "c")});
+  SnapshotState b = State({Row(2, "b"), Row(3, "c"), Row(4, "d")});
+  auto direct = ops::Intersect(a, b);
+  auto via_diff = ops::Difference(a, *ops::Difference(a, b));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_diff.ok());
+  EXPECT_EQ(*direct, *via_diff);
+}
+
+TEST(OperatorsTest, ThetaJoinEqualsSelectOverProduct) {
+  SnapshotState nums = *SnapshotState::Make(
+      MakeSchema({{"n", ValueType::kInt}}),
+      {Tuple{Value::Int(1)}, Tuple{Value::Int(2)}});
+  SnapshotState more = *SnapshotState::Make(
+      MakeSchema({{"m", ValueType::kInt}}),
+      {Tuple{Value::Int(2)}, Tuple{Value::Int(3)}});
+  Predicate eq = Predicate::Comparison(Operand::Attr("n"), CompareOp::kEq,
+                                       Operand::Attr("m"));
+  auto joined = ops::ThetaJoin(nums, more, eq);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 1u);
+  EXPECT_TRUE(joined->Contains(Tuple{Value::Int(2), Value::Int(2)}));
+}
+
+TEST(OperatorsTest, NaturalJoinSharesColumns) {
+  Schema left = MakeSchema({{"id", ValueType::kInt},
+                            {"dept", ValueType::kString}});
+  Schema right = MakeSchema({{"dept", ValueType::kString},
+                             {"floor", ValueType::kInt}});
+  SnapshotState l = *SnapshotState::Make(
+      left, {Tuple{Value::Int(1), Value::String("cs")},
+             Tuple{Value::Int(2), Value::String("ee")}});
+  SnapshotState r = *SnapshotState::Make(
+      right, {Tuple{Value::String("cs"), Value::Int(3)}});
+  auto joined = ops::NaturalJoin(l, r);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->schema().Names(),
+            (std::vector<std::string>{"id", "dept", "floor"}));
+  EXPECT_EQ(joined->size(), 1u);
+  EXPECT_TRUE(joined->Contains(
+      Tuple{Value::Int(1), Value::String("cs"), Value::Int(3)}));
+}
+
+TEST(OperatorsTest, NaturalJoinWithNoSharedAttrsIsProduct) {
+  SnapshotState nums = *SnapshotState::Make(
+      MakeSchema({{"n", ValueType::kInt}}), {Tuple{Value::Int(1)}});
+  SnapshotState flags = *SnapshotState::Make(
+      MakeSchema({{"f", ValueType::kBool}}), {Tuple{Value::Bool(false)}});
+  auto joined = ops::NaturalJoin(nums, flags);
+  auto product = ops::Product(nums, flags);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(*joined, *product);
+}
+
+TEST(OperatorsTest, RenameChangesSchemaOnly) {
+  auto r = ops::Rename(State({Row(1, "a")}), "id", "key");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().Names(), (std::vector<std::string>{"key", "name"}));
+  EXPECT_EQ(r->tuples()[0], Row(1, "a"));
+}
+
+// --- Algebraic laws on random states (experiment E1 correctness side) --------
+
+class AlgebraLawTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraLawTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST_P(AlgebraLawTest, UnionCommutesAndAssociates) {
+  workload::Generator gen(GetParam());
+  const Schema schema = gen.RandomSchema();
+  SnapshotState a = gen.RandomState(schema, 20);
+  SnapshotState b = gen.RandomState(schema, 20);
+  SnapshotState c = gen.RandomState(schema, 20);
+  EXPECT_EQ(*ops::Union(a, b), *ops::Union(b, a));
+  EXPECT_EQ(*ops::Union(*ops::Union(a, b), c),
+            *ops::Union(a, *ops::Union(b, c)));
+}
+
+TEST_P(AlgebraLawTest, SelectCommutes) {
+  workload::Generator gen(GetParam() + 1000);
+  const Schema schema = gen.RandomSchema();
+  SnapshotState a = gen.RandomState(schema, 30);
+  Predicate f = gen.RandomPredicate(schema);
+  Predicate g = gen.RandomPredicate(schema);
+  EXPECT_EQ(*ops::Select(*ops::Select(a, f), g),
+            *ops::Select(*ops::Select(a, g), f));
+}
+
+TEST_P(AlgebraLawTest, SelectMergesIntoConjunction) {
+  workload::Generator gen(GetParam() + 2000);
+  const Schema schema = gen.RandomSchema();
+  SnapshotState a = gen.RandomState(schema, 30);
+  Predicate f = gen.RandomPredicate(schema);
+  Predicate g = gen.RandomPredicate(schema);
+  EXPECT_EQ(*ops::Select(*ops::Select(a, g), f),
+            *ops::Select(a, Predicate::And(f, g)));
+}
+
+TEST_P(AlgebraLawTest, SelectDistributesOverUnionAndDifference) {
+  workload::Generator gen(GetParam() + 3000);
+  const Schema schema = gen.RandomSchema();
+  SnapshotState a = gen.RandomState(schema, 25);
+  SnapshotState b = gen.RandomState(schema, 25);
+  Predicate f = gen.RandomPredicate(schema);
+  EXPECT_EQ(*ops::Select(*ops::Union(a, b), f),
+            *ops::Union(*ops::Select(a, f), *ops::Select(b, f)));
+  EXPECT_EQ(*ops::Select(*ops::Difference(a, b), f),
+            *ops::Difference(*ops::Select(a, f), *ops::Select(b, f)));
+}
+
+TEST_P(AlgebraLawTest, DeMorganOnPredicates) {
+  workload::Generator gen(GetParam() + 4000);
+  const Schema schema = gen.RandomSchema();
+  SnapshotState a = gen.RandomState(schema, 30);
+  Predicate f = gen.RandomPredicate(schema);
+  Predicate g = gen.RandomPredicate(schema);
+  EXPECT_EQ(*ops::Select(a, Predicate::Not(Predicate::And(f, g))),
+            *ops::Select(a, Predicate::Or(Predicate::Not(f),
+                                          Predicate::Not(g))));
+}
+
+TEST_P(AlgebraLawTest, SelectionSplitsStateIntoPartition) {
+  workload::Generator gen(GetParam() + 5000);
+  const Schema schema = gen.RandomSchema();
+  SnapshotState a = gen.RandomState(schema, 30);
+  Predicate f = gen.RandomPredicate(schema);
+  SnapshotState kept = *ops::Select(a, f);
+  SnapshotState dropped = *ops::Select(a, Predicate::Not(f));
+  EXPECT_EQ(*ops::Union(kept, dropped), a);
+  EXPECT_TRUE(ops::Intersect(kept, dropped)->empty());
+}
+
+}  // namespace
+}  // namespace ttra

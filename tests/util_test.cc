@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace ttra {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = SchemaMismatchError("bad schema");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kSchemaMismatch);
+  EXPECT_EQ(s.message(), "bad schema");
+  EXPECT_EQ(s.ToString(), "schema-mismatch: bad schema");
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(UnknownIdentifierError("x").code(), ErrorCode::kUnknownIdentifier);
+  EXPECT_EQ(AlreadyDefinedError("x").code(), ErrorCode::kAlreadyDefined);
+  EXPECT_EQ(SchemaMismatchError("x").code(), ErrorCode::kSchemaMismatch);
+  EXPECT_EQ(TypeMismatchError("x").code(), ErrorCode::kTypeMismatch);
+  EXPECT_EQ(InvalidRollbackError("x").code(), ErrorCode::kInvalidRollback);
+  EXPECT_EQ(ParseError("x").code(), ErrorCode::kParseError);
+  EXPECT_EQ(CorruptionError("x").code(), ErrorCode::kCorruption);
+  EXPECT_EQ(InvalidArgumentError("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, ErrorCodeNamesAreStable) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "ok");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kCorruption), "corruption");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kInvalidRollback), "invalid-rollback");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParseError("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kParseError);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TTRA_ASSIGN_OR_RETURN(int half, Half(x));
+  TTRA_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t x = a.Next();
+    EXPECT_EQ(x, b.Next());
+    if (x != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, AlphaNumLengthAndCharset) {
+  Rng rng(11);
+  const std::string s = rng.AlphaNum(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, EscapeRoundTrip) {
+  const std::string raw = "line\nwith \"quotes\" and \\slash\t\x01";
+  EXPECT_EQ(UnescapeString(EscapeString(raw)), raw);
+}
+
+TEST(StringUtilTest, EscapeProducesPrintableForms) {
+  EXPECT_EQ(EscapeString("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeString("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeString("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeString("\x01"), "\\x01");
+}
+
+TEST(StringUtilTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("abc"));
+  EXPECT_TRUE(IsIdentifier("_x1"));
+  EXPECT_TRUE(IsIdentifier("CamelCase9"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("1abc"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+  EXPECT_FALSE(IsIdentifier("a b"));
+}
+
+}  // namespace
+}  // namespace ttra

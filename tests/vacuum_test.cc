@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "lang/evaluator.h"
+#include "rollback/vacuum.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+Database BuildLedger() {
+  auto db = lang::EvalSentence(R"(
+    define_relation(log, rollback, (n: int));
+    modify_state(log, (n: int) {(1)});
+    modify_state(log, (n: int) {(1), (2)});
+    modify_state(log, (n: int) {(1), (2), (3)});
+    modify_state(log, (n: int) {(1), (2), (3), (4)});
+  )");
+  EXPECT_TRUE(db.ok()) << db.status();
+  return *std::move(db);
+}
+
+TEST(VacuumTest, SplitsHistoryAtCutoff) {
+  Database db = BuildLedger();  // states at txns 2, 3, 4, 5
+  auto result = VacuumRelation(db, "log", /*before_txn=*/4);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->archived_states, 2u);  // txns 2 and 3
+  EXPECT_FALSE(result->archive.empty());
+  // Vacuuming is itself a transaction.
+  EXPECT_EQ(db.transaction_number(), 6u);
+  // The online relation kept txns 4 and 5.
+  const Relation* log = db.Find("log");
+  ASSERT_EQ(log->history_length(), 2u);
+  EXPECT_EQ(log->TxnAt(0), 4u);
+  EXPECT_EQ(*db.Rollback("log"), *db.Rollback("log", 5));
+  // Before the cutoff the online history is empty (as if it began at 4).
+  EXPECT_TRUE(db.Rollback("log", 3)->empty());
+}
+
+TEST(VacuumTest, NothingToArchiveIsNoOp) {
+  Database db = BuildLedger();
+  auto result = VacuumRelation(db, "log", /*before_txn=*/2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->archived_states, 0u);
+  EXPECT_TRUE(result->archive.empty());
+  EXPECT_EQ(db.transaction_number(), 5u);  // no transaction consumed
+  EXPECT_EQ(db.Find("log")->history_length(), 4u);
+}
+
+TEST(VacuumTest, TypeRules) {
+  auto db = lang::EvalSentence(
+      "define_relation(s, snapshot, (n: int));");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(VacuumRelation(*db, "s", 10).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(VacuumRelation(*db, "ghost", 10).status().code(),
+            ErrorCode::kUnknownIdentifier);
+}
+
+TEST(VacuumTest, AttachRestoresFullHistory) {
+  Database db = BuildLedger();
+  Database original = db.Clone();
+  auto result = VacuumRelation(db, "log", 4);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(AttachArchive(db, "log", result->archive).ok());
+  // Every pre-vacuum rollback answer is restored.
+  for (TransactionNumber txn = 0; txn <= 5; ++txn) {
+    EXPECT_EQ(*db.Rollback("log", txn), *original.Rollback("log", txn))
+        << "txn " << txn;
+  }
+  EXPECT_EQ(db.Find("log")->history_length(), 4u);
+}
+
+TEST(VacuumTest, AttachValidation) {
+  Database db = BuildLedger();
+  auto result = VacuumRelation(db, "log", 4);
+  ASSERT_TRUE(result.ok());
+  // Wrong relation.
+  ASSERT_TRUE(
+      db.DefineRelation("other", RelationType::kRollback,
+                        *Schema::Make({{"n", ValueType::kInt}}))
+          .ok());
+  EXPECT_EQ(AttachArchive(db, "other", result->archive).code(),
+            ErrorCode::kInvalidArgument);
+  // Corrupted archive.
+  std::string bad = result->archive;
+  bad[bad.size() / 2] ^= 0x40;
+  EXPECT_FALSE(AttachArchive(db, "log", bad).ok());
+  // Bad magic.
+  std::string bad_magic = result->archive;
+  bad_magic[0] ^= 0xff;
+  EXPECT_EQ(AttachArchive(db, "log", bad_magic).code(),
+            ErrorCode::kCorruption);
+  // Double attach overlaps.
+  ASSERT_TRUE(AttachArchive(db, "log", result->archive).ok());
+  EXPECT_EQ(AttachArchive(db, "log", result->archive).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(VacuumTest, WorksOnTemporalRelations) {
+  auto db = lang::EvalSentence(R"(
+    define_relation(t, temporal, (n: int));
+    modify_state(t, (n: int) {(1) @ [0, 5)});
+    modify_state(t, (n: int) {(1) @ [0, 9)});
+    modify_state(t, (n: int) {(1) @ [0, 9), (2) @ [4, 6)});
+  )");
+  ASSERT_TRUE(db.ok());
+  Database original = db->Clone();
+  auto result = VacuumRelation(*db, "t", 4);  // archive txns 2 and 3
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->archived_states, 2u);
+  EXPECT_EQ(db->Find("t")->history_length(), 1u);
+  EXPECT_TRUE(db->RollbackHistorical("t", 3)->empty());
+  ASSERT_TRUE(AttachArchive(*db, "t", result->archive).ok());
+  for (TransactionNumber txn = 0; txn <= 4; ++txn) {
+    EXPECT_EQ(*db->RollbackHistorical("t", txn),
+              *original.RollbackHistorical("t", txn));
+  }
+}
+
+TEST(VacuumTest, PreservesSchemeHistory) {
+  auto db = lang::EvalSentence(R"(
+    define_relation(r, rollback, (a: int));
+    modify_state(r, (a: int) {(1)});
+    modify_schema(r, (a: int, b: int));
+    modify_state(r, (a: int, b: int) {(1, 2)});
+  )");
+  ASSERT_TRUE(db.ok());
+  auto result = VacuumRelation(*db, "r", 4);  // archives the txn-2 state
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->archived_states, 1u);
+  // Current scheme and state intact; old scheme still recorded.
+  EXPECT_EQ(db->Find("r")->schema().size(), 2u);
+  EXPECT_EQ(db->Find("r")->schema_history().size(), 2u);
+  EXPECT_EQ(db->Rollback("r")->size(), 1u);
+  ASSERT_TRUE(AttachArchive(*db, "r", result->archive).ok());
+  EXPECT_EQ(db->Rollback("r", 2)->schema().size(), 1u);
+}
+
+class VacuumPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, VacuumPropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST_P(VacuumPropertyTest, VacuumThenAttachIsIdentityForRollbackAnswers) {
+  workload::Generator gen(GetParam());
+  auto commands = gen.RandomCommandStream("r", RelationType::kRollback, 20,
+                                          15, 0.3);
+  Database db;
+  ASSERT_TRUE(ApplySentence(db, commands).ok());
+  Database original = db.Clone();
+  const TransactionNumber cutoff = 1 + gen.rng().Uniform(20);
+  auto result = VacuumRelation(db, "r", cutoff);
+  ASSERT_TRUE(result.ok());
+  if (result->archived_states > 0) {
+    ASSERT_TRUE(AttachArchive(db, "r", result->archive).ok());
+  }
+  for (TransactionNumber txn = 0; txn <= original.transaction_number();
+       ++txn) {
+    EXPECT_EQ(*db.Rollback("r", txn), *original.Rollback("r", txn));
+  }
+}
+
+}  // namespace
+}  // namespace ttra

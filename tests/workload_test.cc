@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "lang/evaluator.h"
+#include "workload/generator.h"
+
+namespace ttra::workload {
+namespace {
+
+TEST(GeneratorTest, DeterministicFromSeed) {
+  Generator a(5), b(5);
+  const Schema sa = a.RandomSchema();
+  const Schema sb = b.RandomSchema();
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(a.RandomState(sa, 20), b.RandomState(sb, 20));
+  EXPECT_EQ(a.RandomElement(), b.RandomElement());
+}
+
+TEST(GeneratorTest, SchemaRespectsArityBounds) {
+  GeneratorOptions options;
+  options.min_attributes = 2;
+  options.max_attributes = 5;
+  Generator gen(7, options);
+  for (int i = 0; i < 50; ++i) {
+    const Schema s = gen.RandomSchema();
+    EXPECT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), 5u);
+  }
+  EXPECT_EQ(gen.RandomSchema(3).size(), 3u);
+}
+
+TEST(GeneratorTest, ValuesMatchRequestedType) {
+  Generator gen(9);
+  for (ValueType t : {ValueType::kInt, ValueType::kDouble, ValueType::kString,
+                      ValueType::kBool, ValueType::kUserTime}) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(gen.RandomValue(t).type(), t);
+    }
+  }
+}
+
+TEST(GeneratorTest, StatesConformAndBound) {
+  Generator gen(11);
+  const Schema schema = gen.RandomSchema();
+  SnapshotState state = gen.RandomState(schema, 50);
+  EXPECT_LE(state.size(), 50u);  // duplicates may collapse
+  for (const Tuple& t : state.tuples()) {
+    EXPECT_TRUE(t.ConformsTo(schema).ok());
+  }
+}
+
+TEST(GeneratorTest, HistoricalStatesAreCanonical) {
+  Generator gen(13);
+  const Schema schema = gen.RandomSchema();
+  HistoricalState state = gen.RandomHistoricalState(schema, 40);
+  for (const HistoricalTuple& ht : state.tuples()) {
+    EXPECT_FALSE(ht.valid.empty());
+  }
+}
+
+TEST(GeneratorTest, PredicatesValidate) {
+  Generator gen(17);
+  for (int i = 0; i < 50; ++i) {
+    const Schema schema = gen.RandomSchema();
+    Predicate p = gen.RandomPredicate(schema, 3);
+    EXPECT_TRUE(p.Validate(schema).ok()) << p.ToString();
+  }
+}
+
+TEST(GeneratorTest, MutateChangesRoughlyTheRequestedFraction) {
+  Generator gen(19);
+  const Schema schema = gen.RandomSchema(2);
+  SnapshotState state = gen.RandomState(schema, 400);
+  SnapshotState mutated = gen.MutateState(state, 0.1);
+  EXPECT_EQ(mutated.schema(), state.schema());
+  // The two states should overlap heavily but not be identical.
+  size_t shared = 0;
+  for (const Tuple& t : mutated.tuples()) {
+    if (state.Contains(t)) ++shared;
+  }
+  EXPECT_GT(shared, state.size() / 2);
+  EXPECT_NE(mutated, state);
+}
+
+TEST(GeneratorTest, MutateZeroFractionMostlyIdentity) {
+  Generator gen(23);
+  const Schema schema = gen.RandomSchema(2);
+  SnapshotState state = gen.RandomState(schema, 50);
+  // change_fraction 0 still allows the +1 insertion coin-flip, so check
+  // every original tuple survives.
+  SnapshotState mutated = gen.MutateState(state, 0.0);
+  for (const Tuple& t : state.tuples()) {
+    EXPECT_TRUE(mutated.Contains(t));
+  }
+}
+
+TEST(GeneratorTest, CommandStreamsExecuteCleanly) {
+  for (RelationType type : {RelationType::kSnapshot, RelationType::kRollback,
+                            RelationType::kHistorical,
+                            RelationType::kTemporal}) {
+    Generator gen(29 + static_cast<uint64_t>(type));
+    auto commands = gen.RandomCommandStream("x", type, 15, 10, 0.3);
+    ASSERT_EQ(commands.size(), 16u);
+    Database db;
+    EXPECT_TRUE(ApplySentence(db, commands).ok());
+    EXPECT_EQ(db.transaction_number(), 16u);
+  }
+}
+
+TEST(GeneratorTest, RandomExprsTypeCheckAndEvaluate) {
+  Generator gen(31);
+  const Schema schema = gen.RandomSchema();
+  Database db;
+  ASSERT_TRUE(db.DefineRelation("r", RelationType::kRollback, schema).ok());
+  ASSERT_TRUE(db.ModifyState("r", gen.RandomState(schema, 15)).ok());
+  std::vector<lang::Expr> bases = {
+      lang::Expr::Rollback("r", std::nullopt, false),
+      lang::Expr::Const(gen.RandomState(schema, 10)),
+  };
+  for (int i = 0; i < 30; ++i) {
+    lang::Expr expr = gen.RandomExpr(bases, schema, 4);
+    auto value = lang::EvalExpr(expr, db);
+    ASSERT_TRUE(value.ok()) << expr.ToString() << " → " << value.status();
+    EXPECT_EQ(std::get<SnapshotState>(*value).schema(), schema);
+  }
+}
+
+}  // namespace
+}  // namespace ttra::workload

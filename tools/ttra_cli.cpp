@@ -1,0 +1,198 @@
+// ttra — command-line driver for the transaction-time algebraic language.
+//
+//   ttra run <script> [--db <file>] [--save <file>] [--lax] [--optimize]
+//                     [--explain]
+//   ttra describe --db <file>
+//   ttra vacuum --db <file> --relation <name> --before <txn>
+//               [--archive <file>] [--save <file>]
+//
+// `run` executes a script of language statements against an empty database
+// or one loaded with --db, printing every show() result; --save persists
+// the resulting database. --optimize rewrites each expression with the
+// algebraic optimizer before evaluation; --explain prints each statement's
+// operator tree (after optimization, if enabled) without special casing.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/analyzer.h"
+#include "lang/evaluator.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "optimizer/rewriter.h"
+#include "rollback/persistence.h"
+#include "rollback/vacuum.h"
+
+namespace {
+
+using namespace ttra;
+
+int Fail(const std::string& message) {
+  std::cerr << "ttra: " << message << "\n";
+  return 1;
+}
+
+struct Flags {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> values;  // --key value
+  bool lax = false;
+  bool optimize = false;
+  bool explain = false;
+};
+
+bool ParseFlags(int argc, char** argv, Flags& flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lax") {
+      flags.lax = true;
+    } else if (arg == "--optimize") {
+      flags.optimize = true;
+    } else if (arg == "--explain") {
+      flags.explain = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "ttra: flag " << arg << " needs a value\n";
+        return false;
+      }
+      flags.values[arg.substr(2)] = argv[++i];
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+Result<Database> LoadOrEmpty(const Flags& flags) {
+  auto it = flags.values.find("db");
+  if (it == flags.values.end()) return Database();
+  return LoadDatabase(it->second);
+}
+
+int SaveIfRequested(const Database& db, const Flags& flags) {
+  auto it = flags.values.find("save");
+  if (it == flags.values.end()) return 0;
+  Status status = SaveDatabase(db, it->second);
+  if (!status.ok()) return Fail("save failed: " + status.ToString());
+  std::cout << "saved database to " << it->second << "\n";
+  return 0;
+}
+
+/// Applies the optimizer to the expression inside a statement, leaving
+/// non-expression statements untouched.
+lang::Stmt OptimizeStmt(const lang::Stmt& stmt, const lang::Catalog& catalog) {
+  if (std::holds_alternative<lang::ModifyStateStmt>(stmt)) {
+    const auto& s = std::get<lang::ModifyStateStmt>(stmt);
+    return lang::ModifyStateStmt{s.name,
+                                 optimizer::Optimize(s.expr, catalog)};
+  }
+  if (std::holds_alternative<lang::ShowStmt>(stmt)) {
+    const auto& s = std::get<lang::ShowStmt>(stmt);
+    return lang::ShowStmt{optimizer::Optimize(s.expr, catalog)};
+  }
+  return stmt;
+}
+
+const lang::Expr* StmtExpr(const lang::Stmt& stmt) {
+  if (std::holds_alternative<lang::ModifyStateStmt>(stmt)) {
+    return &std::get<lang::ModifyStateStmt>(stmt).expr;
+  }
+  if (std::holds_alternative<lang::ShowStmt>(stmt)) {
+    return &std::get<lang::ShowStmt>(stmt).expr;
+  }
+  return nullptr;
+}
+
+int CmdRun(const Flags& flags) {
+  if (flags.positional.size() != 2) {
+    return Fail("usage: ttra run <script> [--db f] [--save f] [--lax] "
+                "[--optimize] [--explain]");
+  }
+  std::ifstream in(flags.positional[1]);
+  if (!in) return Fail("cannot open script: " + flags.positional[1]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto db = LoadOrEmpty(flags);
+  if (!db.ok()) return Fail("load failed: " + db.status().ToString());
+
+  auto program = lang::ParseProgram(buffer.str());
+  if (!program.ok()) return Fail(program.status().ToString());
+
+  const lang::ExecOptions options{.strict = !flags.lax};
+  for (const lang::Stmt& raw : *program) {
+    lang::Catalog catalog(*db);
+    const lang::Stmt stmt =
+        flags.optimize ? OptimizeStmt(raw, catalog) : raw;
+    if (flags.explain) {
+      std::cout << "-- " << lang::StmtToString(stmt) << "\n";
+      if (const lang::Expr* expr = StmtExpr(stmt)) {
+        std::cout << lang::FormatExprTree(*expr);
+      }
+    }
+    std::vector<lang::StateValue> outputs;
+    Status status = lang::ExecStmt(stmt, *db, &outputs, options);
+    if (!status.ok()) return Fail(status.ToString());
+    for (const auto& value : outputs) {
+      std::cout << lang::FormatTable(value);
+    }
+  }
+  std::cout << "ok (transaction " << db->transaction_number() << ")\n";
+  return SaveIfRequested(*db, flags);
+}
+
+int CmdDescribe(const Flags& flags) {
+  auto db = LoadOrEmpty(flags);
+  if (!db.ok()) return Fail("load failed: " + db.status().ToString());
+  std::cout << lang::DescribeDatabase(*db);
+  return 0;
+}
+
+int CmdVacuum(const Flags& flags) {
+  auto db = LoadOrEmpty(flags);
+  if (!db.ok()) return Fail("load failed: " + db.status().ToString());
+  auto relation = flags.values.find("relation");
+  auto before = flags.values.find("before");
+  if (relation == flags.values.end() || before == flags.values.end()) {
+    return Fail(
+        "usage: ttra vacuum --db f --relation r --before txn "
+        "[--archive f] [--save f]");
+  }
+  TransactionNumber cutoff = 0;
+  try {
+    cutoff = std::stoull(before->second);
+  } catch (const std::exception&) {
+    return Fail("--before expects a transaction number");
+  }
+  auto result = VacuumRelation(*db, relation->second, cutoff);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::cout << "archived " << result->archived_states << " state(s), "
+            << result->archive.size() << " bytes\n";
+  auto archive_path = flags.values.find("archive");
+  if (archive_path != flags.values.end() && !result->archive.empty()) {
+    std::ofstream out(archive_path->second,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) return Fail("cannot write archive: " + archive_path->second);
+    out.write(result->archive.data(),
+              static_cast<std::streamsize>(result->archive.size()));
+  }
+  return SaveIfRequested(*db, flags);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, flags)) return 1;
+  if (flags.positional.empty()) {
+    return Fail("usage: ttra <run|describe|vacuum> ...");
+  }
+  const std::string& command = flags.positional[0];
+  if (command == "run") return CmdRun(flags);
+  if (command == "describe") return CmdDescribe(flags);
+  if (command == "vacuum") return CmdVacuum(flags);
+  return Fail("unknown command: " + command);
+}
