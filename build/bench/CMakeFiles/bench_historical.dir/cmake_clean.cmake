@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_historical.dir/bench_historical.cc.o"
+  "CMakeFiles/bench_historical.dir/bench_historical.cc.o.d"
+  "bench_historical"
+  "bench_historical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_historical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modify.dir/bench_modify.cc.o"
+  "CMakeFiles/bench_modify.dir/bench_modify.cc.o.d"
+  "bench_modify"
+  "bench_modify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quel.dir/bench_quel.cc.o"
+  "CMakeFiles/bench_quel.dir/bench_quel.cc.o.d"
+  "bench_quel"
+  "bench_quel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

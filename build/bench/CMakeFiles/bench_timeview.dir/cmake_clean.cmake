@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timeview.dir/bench_timeview.cc.o"
+  "CMakeFiles/bench_timeview.dir/bench_timeview.cc.o.d"
+  "bench_timeview"
+  "bench_timeview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timeview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

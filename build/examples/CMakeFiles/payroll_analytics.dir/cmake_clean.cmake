@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_analytics.dir/payroll_analytics.cpp.o"
+  "CMakeFiles/payroll_analytics.dir/payroll_analytics.cpp.o.d"
+  "payroll_analytics"
+  "payroll_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

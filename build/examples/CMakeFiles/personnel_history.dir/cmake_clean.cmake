@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personnel_history.dir/personnel_history.cpp.o"
+  "CMakeFiles/personnel_history.dir/personnel_history.cpp.o.d"
+  "personnel_history"
+  "personnel_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personnel_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

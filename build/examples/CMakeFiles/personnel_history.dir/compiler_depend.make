@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for personnel_history.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;ttra_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_personnel_history "/root/repo/build/examples/personnel_history")
+set_tests_properties(example_personnel_history PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;ttra_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_audit_trail "/root/repo/build/examples/audit_trail")
+set_tests_properties(example_audit_trail PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;ttra_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_payroll_analytics "/root/repo/build/examples/payroll_analytics")
+set_tests_properties(example_payroll_analytics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;ttra_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_benzvi.dir/trm.cc.o"
+  "CMakeFiles/ttra_benzvi.dir/trm.cc.o.d"
+  "libttra_benzvi.a"
+  "libttra_benzvi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_benzvi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ttra_benzvi.
+# This may be replaced when dependencies are built.

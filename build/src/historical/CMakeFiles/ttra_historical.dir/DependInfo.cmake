@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/historical/haggregate.cc" "src/historical/CMakeFiles/ttra_historical.dir/haggregate.cc.o" "gcc" "src/historical/CMakeFiles/ttra_historical.dir/haggregate.cc.o.d"
+  "/root/repo/src/historical/hoperators.cc" "src/historical/CMakeFiles/ttra_historical.dir/hoperators.cc.o" "gcc" "src/historical/CMakeFiles/ttra_historical.dir/hoperators.cc.o.d"
+  "/root/repo/src/historical/hstate.cc" "src/historical/CMakeFiles/ttra_historical.dir/hstate.cc.o" "gcc" "src/historical/CMakeFiles/ttra_historical.dir/hstate.cc.o.d"
+  "/root/repo/src/historical/interval.cc" "src/historical/CMakeFiles/ttra_historical.dir/interval.cc.o" "gcc" "src/historical/CMakeFiles/ttra_historical.dir/interval.cc.o.d"
+  "/root/repo/src/historical/temporal_element.cc" "src/historical/CMakeFiles/ttra_historical.dir/temporal_element.cc.o" "gcc" "src/historical/CMakeFiles/ttra_historical.dir/temporal_element.cc.o.d"
+  "/root/repo/src/historical/temporal_expr.cc" "src/historical/CMakeFiles/ttra_historical.dir/temporal_expr.cc.o" "gcc" "src/historical/CMakeFiles/ttra_historical.dir/temporal_expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snapshot/CMakeFiles/ttra_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_historical.dir/haggregate.cc.o"
+  "CMakeFiles/ttra_historical.dir/haggregate.cc.o.d"
+  "CMakeFiles/ttra_historical.dir/hoperators.cc.o"
+  "CMakeFiles/ttra_historical.dir/hoperators.cc.o.d"
+  "CMakeFiles/ttra_historical.dir/hstate.cc.o"
+  "CMakeFiles/ttra_historical.dir/hstate.cc.o.d"
+  "CMakeFiles/ttra_historical.dir/interval.cc.o"
+  "CMakeFiles/ttra_historical.dir/interval.cc.o.d"
+  "CMakeFiles/ttra_historical.dir/temporal_element.cc.o"
+  "CMakeFiles/ttra_historical.dir/temporal_element.cc.o.d"
+  "CMakeFiles/ttra_historical.dir/temporal_expr.cc.o"
+  "CMakeFiles/ttra_historical.dir/temporal_expr.cc.o.d"
+  "libttra_historical.a"
+  "libttra_historical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_historical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

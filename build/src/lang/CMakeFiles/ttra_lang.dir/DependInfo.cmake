@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/analyzer.cc" "src/lang/CMakeFiles/ttra_lang.dir/analyzer.cc.o" "gcc" "src/lang/CMakeFiles/ttra_lang.dir/analyzer.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/lang/CMakeFiles/ttra_lang.dir/ast.cc.o" "gcc" "src/lang/CMakeFiles/ttra_lang.dir/ast.cc.o.d"
+  "/root/repo/src/lang/evaluator.cc" "src/lang/CMakeFiles/ttra_lang.dir/evaluator.cc.o" "gcc" "src/lang/CMakeFiles/ttra_lang.dir/evaluator.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/ttra_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/ttra_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/printer.cc" "src/lang/CMakeFiles/ttra_lang.dir/printer.cc.o" "gcc" "src/lang/CMakeFiles/ttra_lang.dir/printer.cc.o.d"
+  "/root/repo/src/lang/token.cc" "src/lang/CMakeFiles/ttra_lang.dir/token.cc.o" "gcc" "src/lang/CMakeFiles/ttra_lang.dir/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rollback/CMakeFiles/ttra_rollback.dir/DependInfo.cmake"
+  "/root/repo/build/src/historical/CMakeFiles/ttra_historical.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/ttra_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ttra_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_lang.dir/analyzer.cc.o"
+  "CMakeFiles/ttra_lang.dir/analyzer.cc.o.d"
+  "CMakeFiles/ttra_lang.dir/ast.cc.o"
+  "CMakeFiles/ttra_lang.dir/ast.cc.o.d"
+  "CMakeFiles/ttra_lang.dir/evaluator.cc.o"
+  "CMakeFiles/ttra_lang.dir/evaluator.cc.o.d"
+  "CMakeFiles/ttra_lang.dir/parser.cc.o"
+  "CMakeFiles/ttra_lang.dir/parser.cc.o.d"
+  "CMakeFiles/ttra_lang.dir/printer.cc.o"
+  "CMakeFiles/ttra_lang.dir/printer.cc.o.d"
+  "CMakeFiles/ttra_lang.dir/token.cc.o"
+  "CMakeFiles/ttra_lang.dir/token.cc.o.d"
+  "libttra_lang.a"
+  "libttra_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

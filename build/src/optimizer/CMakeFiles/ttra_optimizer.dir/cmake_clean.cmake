@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_optimizer.dir/rewriter.cc.o"
+  "CMakeFiles/ttra_optimizer.dir/rewriter.cc.o.d"
+  "libttra_optimizer.a"
+  "libttra_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libttra_optimizer.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_quel.dir/quel.cc.o"
+  "CMakeFiles/ttra_quel.dir/quel.cc.o.d"
+  "libttra_quel.a"
+  "libttra_quel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_quel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

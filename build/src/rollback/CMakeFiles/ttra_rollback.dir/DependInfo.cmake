@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rollback/commands.cc" "src/rollback/CMakeFiles/ttra_rollback.dir/commands.cc.o" "gcc" "src/rollback/CMakeFiles/ttra_rollback.dir/commands.cc.o.d"
+  "/root/repo/src/rollback/database.cc" "src/rollback/CMakeFiles/ttra_rollback.dir/database.cc.o" "gcc" "src/rollback/CMakeFiles/ttra_rollback.dir/database.cc.o.d"
+  "/root/repo/src/rollback/persistence.cc" "src/rollback/CMakeFiles/ttra_rollback.dir/persistence.cc.o" "gcc" "src/rollback/CMakeFiles/ttra_rollback.dir/persistence.cc.o.d"
+  "/root/repo/src/rollback/relation.cc" "src/rollback/CMakeFiles/ttra_rollback.dir/relation.cc.o" "gcc" "src/rollback/CMakeFiles/ttra_rollback.dir/relation.cc.o.d"
+  "/root/repo/src/rollback/serial_executor.cc" "src/rollback/CMakeFiles/ttra_rollback.dir/serial_executor.cc.o" "gcc" "src/rollback/CMakeFiles/ttra_rollback.dir/serial_executor.cc.o.d"
+  "/root/repo/src/rollback/vacuum.cc" "src/rollback/CMakeFiles/ttra_rollback.dir/vacuum.cc.o" "gcc" "src/rollback/CMakeFiles/ttra_rollback.dir/vacuum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ttra_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/historical/CMakeFiles/ttra_historical.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/ttra_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

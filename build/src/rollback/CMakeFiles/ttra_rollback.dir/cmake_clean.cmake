@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_rollback.dir/commands.cc.o"
+  "CMakeFiles/ttra_rollback.dir/commands.cc.o.d"
+  "CMakeFiles/ttra_rollback.dir/database.cc.o"
+  "CMakeFiles/ttra_rollback.dir/database.cc.o.d"
+  "CMakeFiles/ttra_rollback.dir/persistence.cc.o"
+  "CMakeFiles/ttra_rollback.dir/persistence.cc.o.d"
+  "CMakeFiles/ttra_rollback.dir/relation.cc.o"
+  "CMakeFiles/ttra_rollback.dir/relation.cc.o.d"
+  "CMakeFiles/ttra_rollback.dir/serial_executor.cc.o"
+  "CMakeFiles/ttra_rollback.dir/serial_executor.cc.o.d"
+  "CMakeFiles/ttra_rollback.dir/vacuum.cc.o"
+  "CMakeFiles/ttra_rollback.dir/vacuum.cc.o.d"
+  "libttra_rollback.a"
+  "libttra_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libttra_rollback.a"
+)

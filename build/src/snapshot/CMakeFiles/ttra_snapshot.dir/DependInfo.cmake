@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snapshot/aggregate.cc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/aggregate.cc.o" "gcc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/aggregate.cc.o.d"
+  "/root/repo/src/snapshot/csv.cc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/csv.cc.o" "gcc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/csv.cc.o.d"
+  "/root/repo/src/snapshot/operators.cc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/operators.cc.o" "gcc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/operators.cc.o.d"
+  "/root/repo/src/snapshot/predicate.cc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/predicate.cc.o" "gcc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/predicate.cc.o.d"
+  "/root/repo/src/snapshot/schema.cc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/schema.cc.o" "gcc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/schema.cc.o.d"
+  "/root/repo/src/snapshot/state.cc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/state.cc.o" "gcc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/state.cc.o.d"
+  "/root/repo/src/snapshot/tuple.cc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/tuple.cc.o" "gcc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/tuple.cc.o.d"
+  "/root/repo/src/snapshot/value.cc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/value.cc.o" "gcc" "src/snapshot/CMakeFiles/ttra_snapshot.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ttra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

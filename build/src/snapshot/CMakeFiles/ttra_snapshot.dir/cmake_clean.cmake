@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_snapshot.dir/aggregate.cc.o"
+  "CMakeFiles/ttra_snapshot.dir/aggregate.cc.o.d"
+  "CMakeFiles/ttra_snapshot.dir/csv.cc.o"
+  "CMakeFiles/ttra_snapshot.dir/csv.cc.o.d"
+  "CMakeFiles/ttra_snapshot.dir/operators.cc.o"
+  "CMakeFiles/ttra_snapshot.dir/operators.cc.o.d"
+  "CMakeFiles/ttra_snapshot.dir/predicate.cc.o"
+  "CMakeFiles/ttra_snapshot.dir/predicate.cc.o.d"
+  "CMakeFiles/ttra_snapshot.dir/schema.cc.o"
+  "CMakeFiles/ttra_snapshot.dir/schema.cc.o.d"
+  "CMakeFiles/ttra_snapshot.dir/state.cc.o"
+  "CMakeFiles/ttra_snapshot.dir/state.cc.o.d"
+  "CMakeFiles/ttra_snapshot.dir/tuple.cc.o"
+  "CMakeFiles/ttra_snapshot.dir/tuple.cc.o.d"
+  "CMakeFiles/ttra_snapshot.dir/value.cc.o"
+  "CMakeFiles/ttra_snapshot.dir/value.cc.o.d"
+  "libttra_snapshot.a"
+  "libttra_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_storage.dir/serialize.cc.o"
+  "CMakeFiles/ttra_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/ttra_storage.dir/state_log.cc.o"
+  "CMakeFiles/ttra_storage.dir/state_log.cc.o.d"
+  "libttra_storage.a"
+  "libttra_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_util.dir/random.cc.o"
+  "CMakeFiles/ttra_util.dir/random.cc.o.d"
+  "CMakeFiles/ttra_util.dir/status.cc.o"
+  "CMakeFiles/ttra_util.dir/status.cc.o.d"
+  "CMakeFiles/ttra_util.dir/string_util.cc.o"
+  "CMakeFiles/ttra_util.dir/string_util.cc.o.d"
+  "libttra_util.a"
+  "libttra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

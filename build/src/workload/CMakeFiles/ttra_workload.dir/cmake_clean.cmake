@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_workload.dir/generator.cc.o"
+  "CMakeFiles/ttra_workload.dir/generator.cc.o.d"
+  "libttra_workload.a"
+  "libttra_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

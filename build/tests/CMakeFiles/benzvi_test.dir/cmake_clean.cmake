@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benzvi_test.dir/benzvi_test.cc.o"
+  "CMakeFiles/benzvi_test.dir/benzvi_test.cc.o.d"
+  "benzvi_test"
+  "benzvi_test.pdb"
+  "benzvi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benzvi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_eval_test.dir/lang_eval_test.cc.o"
+  "CMakeFiles/lang_eval_test.dir/lang_eval_test.cc.o.d"
+  "lang_eval_test"
+  "lang_eval_test.pdb"
+  "lang_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quel/CMakeFiles/ttra_quel.dir/DependInfo.cmake"
+  "/root/repo/build/src/benzvi/CMakeFiles/ttra_benzvi.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/ttra_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ttra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ttra_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rollback/CMakeFiles/ttra_rollback.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ttra_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/historical/CMakeFiles/ttra_historical.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/ttra_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ttra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/historical_test[1]_include.cmake")
+include("/root/repo/build/tests/rollback_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/quel_test[1]_include.cmake")
+include("/root/repo/build/tests/benzvi_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/vacuum_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttra_cli.dir/ttra_cli.cpp.o"
+  "CMakeFiles/ttra_cli.dir/ttra_cli.cpp.o.d"
+  "ttra"
+  "ttra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttra_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_run "ttra" "run" "/root/repo/tools/testdata/smoke.ttra" "--optimize" "--explain" "--save" "/root/repo/build/tools/smoke.db")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_describe "ttra" "describe" "--db" "/root/repo/build/tools/smoke.db")
+set_tests_properties(cli_describe PROPERTIES  DEPENDS "cli_run" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_vacuum "ttra" "vacuum" "--db" "/root/repo/build/tools/smoke.db" "--relation" "emp" "--before" "4" "--archive" "/root/repo/build/tools/smoke.arc" "--save" "/root/repo/build/tools/smoke2.db")
+set_tests_properties(cli_vacuum PROPERTIES  DEPENDS "cli_describe" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
