@@ -1,0 +1,104 @@
+// Experiment E11: the price of durability. The paper's semantics make the
+// committed command sequence the database (C⟦·⟧), so crash safety reduces
+// to making that sequence durable before acknowledging each commit. This
+// measures commit throughput through DurableExecutor under the three sync
+// policies — always (sync per commit), batch (bounded loss window), never
+// (checkpoint-only durability) — plus the raw WAL append/sync floor.
+
+#include <benchmark/benchmark.h>
+
+#include "rollback/durable_executor.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+constexpr size_t kTuplesPerState = 32;
+
+Command NextCommand(workload::Generator& gen, const Schema& schema) {
+  return ModifySnapshotCmd{"emp", gen.RandomState(schema, kTuplesPerState)};
+}
+
+// Raw floor: append-and-fsync a WAL record with no executor on top. The
+// payload size matches a typical encoded modify_state command.
+void BM_WalAppendSync(benchmark::State& state) {
+  Env* env = Env::Default();
+  const std::string path = "/tmp/ttra_bench_wal.log";
+  WalWriter writer(env, path);
+  if (!writer.Create().ok()) {
+    state.SkipWithError("cannot create wal");
+    return;
+  }
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  const bool sync = state.range(1) != 0;
+  for (auto _ : state) {
+    if (!writer.AddRecord(payload).ok() || (sync && !writer.Sync().ok())) {
+      state.SkipWithError("wal write failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  (void)env->Remove(path);
+}
+BENCHMARK(BM_WalAppendSync)
+    ->ArgsProduct({{256, 4096}, {0, 1}})
+    ->ArgNames({"bytes", "sync"});
+
+void RunCommitThroughput(benchmark::State& state, SyncPolicy policy,
+                         size_t batch_size) {
+  Env* env = Env::Default();
+  DurableOptions options;
+  options.sync_policy = policy;
+  options.batch_size = batch_size;
+  DurableExecutor exec(env, "/tmp/ttra_bench_wal_dir", options);
+  // Fresh state per run: discard whatever the previous run left behind.
+  (void)env->Remove(exec.wal_path());
+  (void)env->Remove(exec.checkpoint_path());
+  if (!exec.Open().ok()) {
+    state.SkipWithError("cannot open durable executor");
+    return;
+  }
+  const Schema schema = *Schema::Make(
+      {{"id", ValueType::kInt}, {"payload", ValueType::kString}});
+  workload::Generator gen(23);
+  if (!exec.Submit(DefineRelationCmd{"emp", RelationType::kSnapshot, schema})
+           .ok()) {
+    state.SkipWithError("define failed");
+    return;
+  }
+  // Pre-generate states so the timed loop measures logging + apply, not
+  // workload generation.
+  std::vector<Command> commands;
+  for (int i = 0; i < 64; ++i) commands.push_back(NextCommand(gen, schema));
+  size_t next = 0;
+  for (auto _ : state) {
+    if (!exec.Submit(commands[next]).ok()) {
+      state.SkipWithError("submit failed");
+      return;
+    }
+    next = (next + 1) % commands.size();
+  }
+  state.counters["commits_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(SyncPolicyName(policy)));
+}
+
+void BM_CommitSyncAlways(benchmark::State& state) {
+  RunCommitThroughput(state, SyncPolicy::kAlways, 0);
+}
+void BM_CommitSyncBatch(benchmark::State& state) {
+  RunCommitThroughput(state, SyncPolicy::kBatch,
+                      static_cast<size_t>(state.range(0)));
+}
+void BM_CommitSyncNever(benchmark::State& state) {
+  RunCommitThroughput(state, SyncPolicy::kNever, 0);
+}
+BENCHMARK(BM_CommitSyncAlways);
+BENCHMARK(BM_CommitSyncBatch)->Arg(8)->Arg(64)->ArgNames({"batch"});
+BENCHMARK(BM_CommitSyncNever);
+
+}  // namespace
+}  // namespace ttra

@@ -4,13 +4,17 @@
 // so ρ(accounts, N) reconstructs exactly what the database said after any
 // transaction: an audit trail for free. The example also drives updates
 // through the Quel front-end (the calculus → algebra mapping of §1/§5)
-// and diffs two past states with the algebra itself.
+// and diffs two past states with the algebra itself. The final section
+// makes the ledger crash-proof with the write-ahead log: a simulated
+// power cut mid-update loses nothing that was acknowledged.
 
 #include <iostream>
 
 #include "lang/evaluator.h"
 #include "lang/printer.h"
 #include "quel/quel.h"
+#include "rollback/durable_executor.h"
+#include "storage/env.h"
 
 namespace {
 
@@ -98,5 +102,56 @@ int main() {
             << lang::FormatTable(outputs[1]);
 
   std::cout << "\nStorage: " << lang::DescribeDatabase(db);
+
+  // --- Crash safety ---------------------------------------------------
+  // An audit trail is only as trustworthy as its durability: an append
+  // that vanishes in a crash is exactly the tampering the ledger exists
+  // to rule out. DurableExecutor logs every command to a write-ahead log
+  // and fsyncs it before acknowledging. We demonstrate with the fault-
+  // injection environment, which simulates a power cut deterministically;
+  // swap in Env::Default() and a real directory for production use.
+  std::cout << "\n--- durable ledger with a simulated power cut ---\n";
+  FaultInjectionEnv env;
+  const Schema ledger_schema = *Schema::Make(
+      {{"owner", ValueType::kString}, {"balance", ValueType::kInt}});
+  auto account = [&](const char* owner, int64_t balance) {
+    return *SnapshotState::Make(
+        ledger_schema, {Tuple{Value::String(owner), Value::Int(balance)}});
+  };
+
+  {
+    DurableExecutor ledger(&env, "ledger");
+    if (!ledger.Open().ok()) return 1;
+    (void)ledger.Submit(
+        DefineRelationCmd{"accounts", RelationType::kRollback, ledger_schema});
+    auto acked = ledger.Submit(ModifySnapshotCmd{"accounts",
+                                                 account("alice", 1000)});
+    std::cout << "acknowledged txn " << *acked << ": alice=1000\n";
+
+    // The power cut: the next disk write fails mid-operation, and
+    // everything that was never fsync'ed evaporates.
+    env.InjectFault(1, FaultInjectionEnv::FaultMode::kTornAppend);
+    auto lost = ledger.Submit(ModifySnapshotCmd{"accounts",
+                                                account("mallory", 9999)});
+    std::cout << "unacknowledged update: " << lost.status() << "\n";
+    std::cout << "executor is now fail-stop: "
+              << ledger.Submit(ModifySnapshotCmd{"accounts",
+                                                 account("bob", 1)})
+                     .status()
+              << "\n";
+  }
+  env.Crash();  // drop all unsynced writes, as the machine dying would
+
+  // Reopen after the "reboot": recovery replays the log and lands on the
+  // acknowledged prefix — alice's deposit survives, mallory's torn write
+  // does not.
+  DurableExecutor recovered(&env, "ledger");
+  if (!recovered.Open().ok()) return 1;
+  const auto info = recovered.last_recovery();
+  std::cout << "recovered transaction " << recovered.transaction_number()
+            << " (checkpoint at " << info.checkpoint_txn << ", "
+            << info.replayed_records << " wal record(s) replayed"
+            << (info.torn_tail ? ", torn tail truncated" : "") << ")\n"
+            << lang::FormatTable(*recovered.Rollback("accounts"));
   return 0;
 }

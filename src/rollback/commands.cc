@@ -2,6 +2,27 @@
 
 namespace ttra {
 
+namespace {
+
+enum CommandTag : uint8_t {
+  kTagDefineRelation = 0,
+  kTagModifySnapshot = 1,
+  kTagModifyHistorical = 2,
+  kTagDeleteRelation = 3,
+  kTagModifySchema = 4,
+};
+
+void PutU64(uint64_t v, std::string& out) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutString(std::string_view s, std::string& out) {
+  PutU64(s.size(), out);
+  out.append(s);
+}
+
+}  // namespace
+
 Status ApplyCommand(Database& db, const Command& command) {
   return std::visit(
       [&db](const auto& cmd) -> Status {
@@ -36,6 +57,70 @@ Result<Database> EvalSentence(const std::vector<Command>& sentence,
   Database db(options);
   TTRA_RETURN_IF_ERROR(ApplySentence(db, sentence));
   return db;
+}
+
+void EncodeCommand(const Command& command, std::string& out) {
+  std::visit(
+      [&out](const auto& cmd) {
+        using T = std::decay_t<decltype(cmd)>;
+        if constexpr (std::is_same_v<T, DefineRelationCmd>) {
+          out.push_back(static_cast<char>(kTagDefineRelation));
+          PutString(cmd.name, out);
+          out.push_back(static_cast<char>(cmd.type));
+          EncodeSchema(cmd.schema, out);
+        } else if constexpr (std::is_same_v<T, ModifySnapshotCmd>) {
+          out.push_back(static_cast<char>(kTagModifySnapshot));
+          PutString(cmd.name, out);
+          EncodeSnapshotState(cmd.state, out);
+        } else if constexpr (std::is_same_v<T, ModifyHistoricalCmd>) {
+          out.push_back(static_cast<char>(kTagModifyHistorical));
+          PutString(cmd.name, out);
+          EncodeHistoricalState(cmd.state, out);
+        } else if constexpr (std::is_same_v<T, DeleteRelationCmd>) {
+          out.push_back(static_cast<char>(kTagDeleteRelation));
+          PutString(cmd.name, out);
+        } else {
+          static_assert(std::is_same_v<T, ModifySchemaCmd>);
+          out.push_back(static_cast<char>(kTagModifySchema));
+          PutString(cmd.name, out);
+          EncodeSchema(cmd.schema, out);
+        }
+      },
+      command);
+}
+
+Result<Command> DecodeCommand(ByteReader& reader) {
+  TTRA_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadByte());
+  TTRA_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+  switch (tag) {
+    case kTagDefineRelation: {
+      TTRA_ASSIGN_OR_RETURN(uint8_t type_tag, reader.ReadByte());
+      if (type_tag > static_cast<uint8_t>(RelationType::kTemporal)) {
+        return CorruptionError("invalid relation type tag in command");
+      }
+      TTRA_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(reader));
+      return Command(DefineRelationCmd{std::move(name),
+                                       static_cast<RelationType>(type_tag),
+                                       std::move(schema)});
+    }
+    case kTagModifySnapshot: {
+      TTRA_ASSIGN_OR_RETURN(SnapshotState state, DecodeSnapshotState(reader));
+      return Command(ModifySnapshotCmd{std::move(name), std::move(state)});
+    }
+    case kTagModifyHistorical: {
+      TTRA_ASSIGN_OR_RETURN(HistoricalState state,
+                            DecodeHistoricalState(reader));
+      return Command(ModifyHistoricalCmd{std::move(name), std::move(state)});
+    }
+    case kTagDeleteRelation:
+      return Command(DeleteRelationCmd{std::move(name)});
+    case kTagModifySchema: {
+      TTRA_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(reader));
+      return Command(ModifySchemaCmd{std::move(name), std::move(schema)});
+    }
+    default:
+      return CorruptionError("invalid command tag " + std::to_string(tag));
+  }
 }
 
 }  // namespace ttra

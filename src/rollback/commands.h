@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rollback/database.h"
+#include "storage/serialize.h"
 
 namespace ttra {
 
@@ -57,6 +58,13 @@ Status ApplySentence(Database& db, const std::vector<Command>& sentence);
 /// P⟦·⟧: evaluates the sentence against the EMPTY database.
 Result<Database> EvalSentence(const std::vector<Command>& sentence,
                               DatabaseOptions options = {});
+
+/// Binary codec for commands (the unit the write-ahead log stores): a
+/// one-byte variant tag followed by the serialize.h encoding of the
+/// fields. Decoding validates tags and returns kCorruption on malformed
+/// input.
+void EncodeCommand(const Command& command, std::string& out);
+Result<Command> DecodeCommand(ByteReader& reader);
 
 }  // namespace ttra
 

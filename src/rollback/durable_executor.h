@@ -1,0 +1,144 @@
+#ifndef TTRA_ROLLBACK_DURABLE_EXECUTOR_H_
+#define TTRA_ROLLBACK_DURABLE_EXECUTOR_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rollback/commands.h"
+#include "rollback/persistence.h"
+#include "rollback/serial_executor.h"
+#include "storage/wal.h"
+
+namespace ttra {
+
+/// When the write-ahead log is fsync'ed relative to commit acknowledgement.
+enum class SyncPolicy {
+  /// Sync before acknowledging every commit: an acknowledged commit is
+  /// never lost (the durability the paper's append-only transaction-time
+  /// semantics implies).
+  kAlways,
+  /// Sync every `DurableOptions::batch_size` commits: bounded loss window,
+  /// much higher throughput.
+  kBatch,
+  /// Never sync explicitly; the OS decides. Only the checkpoint is
+  /// guaranteed after a crash.
+  kNever,
+};
+
+std::string_view SyncPolicyName(SyncPolicy policy);
+
+struct DurableOptions {
+  DatabaseOptions db;
+  SyncPolicy sync_policy = SyncPolicy::kAlways;
+  /// Commits between syncs under SyncPolicy::kBatch.
+  size_t batch_size = 32;
+  /// Auto-checkpoint (and truncate the WAL) every N commits; 0 = only when
+  /// Checkpoint() is called.
+  size_t checkpoint_every = 0;
+};
+
+/// Durable front-end over SerialExecutor: every submitted sentence is
+/// appended to a write-ahead log (and, per the sync policy, fsync'ed)
+/// *before* it is applied in memory and acknowledged, so the sequence of
+/// committed commands — the sole determinant of database state under the
+/// paper's C⟦·⟧ semantics — survives a crash.
+///
+/// On-disk layout in `dir`: "checkpoint.db" (SaveDatabase output) plus
+/// "wal.log" (commands committed since the checkpoint). Open() recovers:
+/// load the checkpoint, replay the WAL suffix (tolerating a torn tail),
+/// then re-establish the invariant by writing a fresh checkpoint and an
+/// empty WAL.
+///
+/// Replay is deterministic re-execution: a record is applied exactly as it
+/// was live (paper sequencing for Submit, all-or-nothing for
+/// SubmitAtomic), and records whose pre-commit transaction number is
+/// already covered by the checkpoint are skipped, so a crash between
+/// checkpoint publication and WAL truncation is harmless.
+///
+/// After any WAL write failure the executor fails stop: the in-memory
+/// state can no longer be proven equal to a replay of the log, so every
+/// further submit returns kUnavailable until the executor is reopened
+/// (which re-derives the state from disk).
+class DurableExecutor {
+ public:
+  /// `env` must outlive the executor. Call Open() before submitting.
+  DurableExecutor(Env* env, std::string dir, DurableOptions options = {});
+
+  DurableExecutor(const DurableExecutor&) = delete;
+  DurableExecutor& operator=(const DurableExecutor&) = delete;
+
+  /// Recovers state from `dir` (creating it on first use) and arms the
+  /// log. Idempotent; also the way back to health after a fault.
+  Status Open();
+
+  /// Durably logs and applies a sentence with the paper's sequencing
+  /// semantics (failing commands are no-ops, later ones still run). The
+  /// returned transaction number reflects every command that succeeded; a
+  /// command-level error is returned after the sentence is already logged
+  /// — deterministic replay reproduces the identical partial effect.
+  Result<TransactionNumber> Submit(const std::vector<Command>& sentence);
+  Result<TransactionNumber> Submit(const Command& command);
+
+  /// Durably logs a sentence and applies it all-or-nothing.
+  Result<TransactionNumber> SubmitAtomic(const std::vector<Command>& sentence);
+
+  /// Writes a fresh checkpoint of the current state and truncates the WAL.
+  Status Checkpoint();
+
+  // Read side (pass-through to the wrapped SerialExecutor).
+  Status Read(const std::function<Status(const Database&)>& reader) const {
+    return exec_.Read(reader);
+  }
+  TransactionNumber transaction_number() const {
+    return exec_.transaction_number();
+  }
+  Result<SnapshotState> Rollback(
+      const std::string& name,
+      std::optional<TransactionNumber> txn = std::nullopt) const {
+    return exec_.Rollback(name, txn);
+  }
+  Result<HistoricalState> RollbackHistorical(
+      const std::string& name,
+      std::optional<TransactionNumber> txn = std::nullopt) const {
+    return exec_.RollbackHistorical(name, txn);
+  }
+  Database Snapshot() const { return exec_.Snapshot(); }
+
+  /// False after a WAL write failure (submits return kUnavailable).
+  bool healthy() const;
+
+  /// What the last Open() found.
+  struct RecoveryInfo {
+    TransactionNumber checkpoint_txn = 0;  ///< txn restored from checkpoint
+    size_t replayed_records = 0;           ///< WAL records applied on top
+    bool torn_tail = false;                ///< trailing torn record dropped
+  };
+  RecoveryInfo last_recovery() const;
+
+  std::string checkpoint_path() const { return dir_ + "/checkpoint.db"; }
+  std::string wal_path() const { return dir_ + "/wal.log"; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Result<TransactionNumber> SubmitInternal(
+      const std::vector<Command>& sentence, bool atomic);
+  Status CheckpointLocked();
+  Status ReplayRecord(Database& db, std::string_view record);
+
+  Env* env_;
+  std::string dir_;
+  DurableOptions options_;
+  SerialExecutor exec_;
+  WalWriter wal_;
+
+  mutable std::mutex commit_mutex_;
+  bool healthy_ = false;
+  size_t commits_since_sync_ = 0;
+  size_t commits_since_checkpoint_ = 0;
+  RecoveryInfo last_recovery_;
+};
+
+}  // namespace ttra
+
+#endif  // TTRA_ROLLBACK_DURABLE_EXECUTOR_H_

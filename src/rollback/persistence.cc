@@ -1,8 +1,5 @@
 #include "rollback/persistence.h"
 
-#include <cstdio>
-#include <fstream>
-
 #include "storage/serialize.h"
 
 namespace ttra {
@@ -181,29 +178,21 @@ Result<Database> DecodeDatabase(std::string_view data,
   return db;
 }
 
-Status SaveDatabase(const Database& db, const std::string& path) {
+Status SaveDatabase(const Database& db, const std::string& path, Env* env) {
   const std::string bytes = EncodeDatabase(db);
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return InvalidArgumentError("cannot open for writing: " + tmp);
-    }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) return InternalError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return InternalError("rename failed for " + path);
-  }
-  return Status::Ok();
+  // Write-sync-rename: the content must be durable *before* the rename
+  // publishes it, and the rename must be durable before we acknowledge —
+  // otherwise a crash after the rename can still lose the file contents.
+  TTRA_RETURN_IF_ERROR(env->Truncate(tmp));
+  TTRA_RETURN_IF_ERROR(env->Append(tmp, bytes));
+  TTRA_RETURN_IF_ERROR(env->Sync(tmp));
+  return env->Rename(tmp, path);
 }
 
-Result<Database> LoadDatabase(const std::string& path,
-                              DatabaseOptions options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return InvalidArgumentError("cannot open for reading: " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
+Result<Database> LoadDatabase(const std::string& path, DatabaseOptions options,
+                              Env* env) {
+  TTRA_ASSIGN_OR_RETURN(std::string bytes, env->Read(path));
   return DecodeDatabase(bytes, options);
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "rollback/database.h"
+#include "storage/env.h"
 
 namespace ttra {
 
@@ -24,12 +25,18 @@ std::string EncodeDatabase(const Database& db);
 Result<Database> DecodeDatabase(std::string_view data,
                                 DatabaseOptions options = {});
 
-/// Writes EncodeDatabase output to a file (atomically via rename).
-Status SaveDatabase(const Database& db, const std::string& path);
+/// Writes EncodeDatabase output to a file, crash-safely: the bytes go to
+/// `path + ".tmp"`, are synced, and the temp file is atomically renamed
+/// over `path` with the rename itself made durable (directory fsync). A
+/// crash at any point leaves either the old file or the new one, never a
+/// mix or a disappearing file.
+Status SaveDatabase(const Database& db, const std::string& path,
+                    Env* env = Env::Default());
 
 /// Reads and decodes a database file.
 Result<Database> LoadDatabase(const std::string& path,
-                              DatabaseOptions options = {});
+                              DatabaseOptions options = {},
+                              Env* env = Env::Default());
 
 }  // namespace ttra
 

@@ -48,4 +48,9 @@ Database SerialExecutor::Snapshot() const {
   return db_.Clone();
 }
 
+void SerialExecutor::Reset(Database db) {
+  std::unique_lock lock(mutex_);
+  db_ = std::move(db);
+}
+
 }  // namespace ttra

@@ -54,6 +54,11 @@ class SerialExecutor {
   /// Consistent point-in-time copy of the whole database.
   Database Snapshot() const;
 
+  /// Replaces the database wholesale under the exclusive lock. Recovery
+  /// only (DurableExecutor installing a checkpoint + replayed WAL); normal
+  /// code must go through Submit.
+  void Reset(Database db);
+
  private:
   mutable std::shared_mutex mutex_;
   Database db_;

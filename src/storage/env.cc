@@ -1,0 +1,294 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace ttra {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return IoError(op + " failed for " + path + ": " + std::strerror(errno));
+}
+
+/// Directory part of `path` ("" if none).
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncPath(const std::string& path, int flags) {
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return Errno("open for fsync", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync", path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --- PosixEnv --------------------------------------------------------------
+
+PosixEnv::~PosixEnv() {
+  for (auto& [path, fd] : fds_) ::close(fd);
+}
+
+Result<int> PosixEnv::OpenForAppendLocked(const std::string& path) {
+  auto it = fds_.find(path);
+  if (it != fds_.end()) return it->second;
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) return Errno("open", path);
+  fds_[path] = fd;
+  return fd;
+}
+
+void PosixEnv::DropFdLocked(const std::string& path) {
+  auto it = fds_.find(path);
+  if (it != fds_.end()) {
+    ::close(it->second);
+    fds_.erase(it);
+  }
+}
+
+Status PosixEnv::Truncate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DropFdLocked(path);
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return Errno("truncate", path);
+  fds_[path] = fd;  // O_WRONLY fd still appends correctly: offset is at 0
+  return Status::Ok();
+}
+
+Status PosixEnv::Append(const std::string& path, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TTRA_ASSIGN_OR_RETURN(int fd, OpenForAppendLocked(path));
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status PosixEnv::Sync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TTRA_ASSIGN_OR_RETURN(int fd, OpenForAppendLocked(path));
+  if (::fsync(fd) != 0) return Errno("fsync", path);
+  return Status::Ok();
+}
+
+Result<std::string> PosixEnv::Read(const std::string& path) const {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open for read", path);
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status PosixEnv::Rename(const std::string& from, const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DropFdLocked(from);
+    DropFdLocked(to);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename", from + " -> " + to);
+  }
+  // The rename is only durable once the directory entry is on disk.
+  return FsyncPath(DirName(to), O_RDONLY | O_DIRECTORY);
+}
+
+Status PosixEnv::Remove(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DropFdLocked(path);
+  }
+  if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> PosixEnv::List(const std::string& dir) const {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status PosixEnv::CreateDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir", dir);
+  }
+  return FsyncPath(DirName(dir), O_RDONLY | O_DIRECTORY);
+}
+
+bool PosixEnv::Exists(const std::string& path) const {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// --- InMemoryEnv -----------------------------------------------------------
+
+Status InMemoryEnv::Truncate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[path] = FileState{};
+  return Status::Ok();
+}
+
+Status InMemoryEnv::Append(const std::string& path, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[path].data.append(data);
+  return Status::Ok();
+}
+
+Status InMemoryEnv::Sync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FileState& file = files_[path];
+  file.synced_size = file.data.size();
+  return Status::Ok();
+}
+
+Result<std::string> InMemoryEnv::Read(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return IoError("no such file: " + path);
+  return it->second.data;
+}
+
+Status InMemoryEnv::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return IoError("no such file: " + from);
+  FileState moved = std::move(it->second);
+  // Rename is modeled as durable (the POSIX backend fsyncs the directory),
+  // so the moved content survives a crash in full.
+  moved.synced_size = moved.data.size();
+  files_.erase(it);
+  files_[to] = std::move(moved);
+  return Status::Ok();
+}
+
+Status InMemoryEnv::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(path) == 0) return IoError("no such file: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> InMemoryEnv::List(
+    const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, file] : files_) {
+    if (path.rfind(prefix, 0) == 0) {
+      const std::string rest = path.substr(prefix.size());
+      if (rest.find('/') == std::string::npos) names.push_back(rest);
+    }
+  }
+  return names;
+}
+
+Status InMemoryEnv::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(dirs_.begin(), dirs_.end(), dir) == dirs_.end()) {
+    dirs_.push_back(dir);
+  }
+  return Status::Ok();
+}
+
+bool InMemoryEnv::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) > 0 ||
+         std::find(dirs_.begin(), dirs_.end(), path) != dirs_.end();
+}
+
+void InMemoryEnv::DropUnsynced() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [path, file] : files_) {
+    file.data.resize(file.synced_size);
+  }
+}
+
+// --- FaultInjectionEnv -----------------------------------------------------
+
+bool FaultInjectionEnv::NextOpFaults(FaultMode* mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++op_count_;
+  if (fault_at_ != 0 && op_count_ >= fault_at_) {
+    fault_at_ = 0;  // one-shot
+    triggered_ = true;
+    if (mode != nullptr) *mode = mode_;
+    return true;
+  }
+  return false;
+}
+
+Status FaultInjectionEnv::Truncate(const std::string& path) {
+  if (NextOpFaults()) return IoError("injected fault: truncate " + path);
+  return InMemoryEnv::Truncate(path);
+}
+
+Status FaultInjectionEnv::Append(const std::string& path,
+                                 std::string_view data) {
+  FaultMode mode = FaultMode::kFailOp;
+  if (NextOpFaults(&mode)) {
+    if (mode == FaultMode::kTornAppend && !data.empty()) {
+      // Half the record reaches the file: a torn write.
+      InMemoryEnv::Append(path, data.substr(0, data.size() / 2));
+    }
+    return IoError("injected fault: append " + path);
+  }
+  return InMemoryEnv::Append(path, data);
+}
+
+Status FaultInjectionEnv::Sync(const std::string& path) {
+  if (NextOpFaults()) return IoError("injected fault: sync " + path);
+  return InMemoryEnv::Sync(path);
+}
+
+Status FaultInjectionEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  if (NextOpFaults()) return IoError("injected fault: rename " + from);
+  return InMemoryEnv::Rename(from, to);
+}
+
+Status FaultInjectionEnv::Remove(const std::string& path) {
+  if (NextOpFaults()) return IoError("injected fault: remove " + path);
+  return InMemoryEnv::Remove(path);
+}
+
+}  // namespace ttra

@@ -1,0 +1,185 @@
+#ifndef TTRA_STORAGE_ENV_H_
+#define TTRA_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ttra {
+
+/// Injectable filesystem abstraction used by everything that touches disk
+/// (the WAL, checkpoints, recovery). Keeping the interface path-based and
+/// tiny — append / sync / rename / read / list — makes it possible to slot
+/// in a deterministic in-memory backend and a fault-injecting backend, so
+/// crash behaviour can be tested at every single write point instead of
+/// hoping kill -9 lands somewhere interesting.
+///
+/// Durability contract implementations must honor:
+///  * Append(path, data) creates the file if needed and appends; the data
+///    is NOT durable until Sync(path) returns OK.
+///  * Rename(from, to) atomically replaces `to` and durably records the
+///    rename itself (POSIX: fsync the containing directory).
+///  * After a crash, a file may hold any prefix of its appended bytes that
+///    is at least its content as of the last successful Sync.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates `path` as an empty file (truncating any existing content).
+  virtual Status Truncate(const std::string& path) = 0;
+
+  /// Appends `data` to `path`, creating it if absent.
+  virtual Status Append(const std::string& path, std::string_view data) = 0;
+
+  /// Durably flushes all appended data of `path` to storage.
+  virtual Status Sync(const std::string& path) = 0;
+
+  /// Reads the entire file.
+  virtual Result<std::string> Read(const std::string& path) const = 0;
+
+  /// Atomically replaces `to` with `from` and makes the rename durable.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// File names (not paths) in `dir`, sorted; "." and ".." excluded.
+  virtual Result<std::vector<std::string>> List(const std::string& dir)
+      const = 0;
+
+  /// Creates `dir` (OK if it already exists) and makes it durable.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  virtual bool Exists(const std::string& path) const = 0;
+
+  /// Process-wide PosixEnv singleton.
+  static Env* Default();
+};
+
+/// Real filesystem backend. Append/Sync keep an open-descriptor cache so a
+/// WAL append does not pay an open(2) per record.
+class PosixEnv : public Env {
+ public:
+  PosixEnv() = default;
+  ~PosixEnv() override;
+
+  Status Truncate(const std::string& path) override;
+  Status Append(const std::string& path, std::string_view data) override;
+  Status Sync(const std::string& path) override;
+  Result<std::string> Read(const std::string& path) const override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) const override;
+  Status CreateDir(const std::string& dir) override;
+  bool Exists(const std::string& path) const override;
+
+ private:
+  /// Returns a cached O_APPEND descriptor for `path`, opening (and creating
+  /// the file) on first use. Caller holds mutex_.
+  Result<int> OpenForAppendLocked(const std::string& path);
+  void DropFdLocked(const std::string& path);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, int> fds_;
+};
+
+/// Deterministic in-memory backend. Tracks, per file, how much of the
+/// content has been Sync()ed, so a simulated crash (DropUnsynced) can
+/// discard exactly the bytes a real power loss is allowed to lose.
+class InMemoryEnv : public Env {
+ public:
+  Status Truncate(const std::string& path) override;
+  Status Append(const std::string& path, std::string_view data) override;
+  Status Sync(const std::string& path) override;
+  Result<std::string> Read(const std::string& path) const override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) const override;
+  Status CreateDir(const std::string& dir) override;
+  bool Exists(const std::string& path) const override;
+
+  /// Simulates power loss: every file loses all bytes appended after its
+  /// last successful Sync. Renames and removes are considered durable at
+  /// the moment they succeed (the POSIX backend fsyncs the directory).
+  void DropUnsynced();
+
+ protected:
+  struct FileState {
+    std::string data;
+    size_t synced_size = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FileState> files_;
+  std::vector<std::string> dirs_;
+};
+
+/// In-memory backend that can fail — or tear — the Nth mutating I/O
+/// operation, simulating a crash at every write point of a workload.
+///
+/// Counted operations: Truncate, Append, Sync, Rename, Remove. The fault
+/// fires once, on the `nth` counted op (1-based), and then disarms:
+///  * kFailOp     — the op does nothing and returns kIoError.
+///  * kTornAppend — an Append writes only a prefix of its data before
+///                  returning kIoError (non-append ops fall back to
+///                  kFailOp). Models a torn write mid-record.
+class FaultInjectionEnv : public InMemoryEnv {
+ public:
+  enum class FaultMode { kFailOp, kTornAppend };
+
+  /// Arms the fault at the `nth` future counted op; 0 disarms.
+  void InjectFault(uint64_t nth, FaultMode mode) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fault_at_ = op_count_ + nth;
+    mode_ = mode;
+    triggered_ = false;
+  }
+
+  void ClearFault() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fault_at_ = 0;
+  }
+
+  /// Total counted ops so far (use a fault-free run to size the fault
+  /// sweep).
+  uint64_t op_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return op_count_;
+  }
+
+  /// True once the armed fault has fired.
+  bool fault_triggered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return triggered_;
+  }
+
+  /// Fault fired (or was about to): simulate the crash that follows —
+  /// disarm and drop unsynced bytes.
+  void Crash() {
+    ClearFault();
+    DropUnsynced();
+  }
+
+  Status Truncate(const std::string& path) override;
+  Status Append(const std::string& path, std::string_view data) override;
+  Status Sync(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+
+ private:
+  /// Advances the op counter; returns true if this op must fail, storing
+  /// the armed mode in `*mode`. Caller must NOT hold mutex_.
+  bool NextOpFaults(FaultMode* mode = nullptr);
+
+  uint64_t op_count_ = 0;
+  uint64_t fault_at_ = 0;  // 0 = disarmed
+  FaultMode mode_ = FaultMode::kFailOp;
+  bool triggered_ = false;
+};
+
+}  // namespace ttra
+
+#endif  // TTRA_STORAGE_ENV_H_

@@ -1,0 +1,99 @@
+#include "storage/wal.h"
+
+namespace ttra {
+
+namespace {
+
+constexpr uint64_t kWalMagic = 0x7474726157414c31ULL;  // "ttraWAL1"
+constexpr uint8_t kWalVersion = 1;
+constexpr size_t kHeaderSize = 9;
+constexpr size_t kRecordHeaderSize = 16;  // u64 length + u64 checksum
+
+void PutU64(uint64_t v, std::string& out) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint64_t GetU64(std::string_view data, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string Header() {
+  std::string out;
+  PutU64(kWalMagic, out);
+  out.push_back(static_cast<char>(kWalVersion));
+  return out;
+}
+
+}  // namespace
+
+Status WalWriter::Create() {
+  TTRA_RETURN_IF_ERROR(env_->Truncate(path_));
+  TTRA_RETURN_IF_ERROR(env_->Append(path_, Header()));
+  return env_->Sync(path_);
+}
+
+Status WalWriter::OpenForAppend() {
+  if (!env_->Exists(path_)) {
+    return IoError("wal does not exist: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::AddRecord(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kRecordHeaderSize + payload.size());
+  PutU64(payload.size(), frame);
+  PutU64(Fnv1a(payload), frame);
+  frame.append(payload);
+  return env_->Append(path_, frame);
+}
+
+Status WalWriter::Sync() { return env_->Sync(path_); }
+
+Result<WalReadResult> ReadWal(const Env& env, const std::string& path) {
+  TTRA_ASSIGN_OR_RETURN(std::string data, env.Read(path));
+  WalReadResult result;
+  if (data.size() < kHeaderSize) {
+    // The header itself never reached disk: an empty (torn-at-birth) log.
+    result.torn_tail = !data.empty();
+    return result;
+  }
+  if (GetU64(data, 0) != kWalMagic) {
+    return CorruptionError("bad wal magic in " + path);
+  }
+  if (static_cast<uint8_t>(data[8]) != kWalVersion) {
+    return CorruptionError("unsupported wal version in " + path);
+  }
+  size_t pos = kHeaderSize;
+  result.valid_size = pos;
+  while (pos < data.size()) {
+    if (data.size() - pos < kRecordHeaderSize) break;  // torn record header
+    const uint64_t length = GetU64(data, pos);
+    const uint64_t checksum = GetU64(data, pos + 8);
+    if (length > data.size() - pos - kRecordHeaderSize) break;  // torn payload
+    const std::string_view payload =
+        std::string_view(data).substr(pos + kRecordHeaderSize, length);
+    if (Fnv1a(payload) != checksum) break;  // torn or damaged record
+    result.records.emplace_back(payload);
+    pos += kRecordHeaderSize + length;
+    result.valid_size = pos;
+  }
+  result.torn_tail = result.valid_size != data.size();
+  return result;
+}
+
+}  // namespace ttra

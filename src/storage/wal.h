@@ -1,0 +1,67 @@
+#ifndef TTRA_STORAGE_WAL_H_
+#define TTRA_STORAGE_WAL_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace ttra {
+
+/// Write-ahead log of opaque records over an Env.
+///
+/// File layout: a 9-byte header (8-byte magic + 1-byte format version)
+/// followed by length-prefixed, checksummed records:
+///
+///   [u64 payload length][u64 FNV-1a of payload][payload bytes]
+///
+/// A crash may leave any suffix of appended-but-unsynced bytes missing, so
+/// the reader treats an incomplete or checksum-failing trailing record as
+/// a *torn tail*: it stops there and reports the records before it. A bad
+/// header on a non-empty file, by contrast, is real corruption — the file
+/// is not a WAL — and fails loudly.
+
+/// Appender. Typical lifecycle: Create() a fresh log (or OpenForAppend()
+/// after recovery), then AddRecord()/Sync() per the caller's policy.
+class WalWriter {
+ public:
+  WalWriter(Env* env, std::string path) : env_(env), path_(std::move(path)) {}
+
+  /// Starts a fresh, durably-empty log, discarding any existing file.
+  Status Create();
+
+  /// Positions for appending to an existing log previously validated by
+  /// ReadWal (the file must end at a record boundary).
+  Status OpenForAppend();
+
+  /// Appends one framed record. NOT durable until Sync().
+  Status AddRecord(std::string_view payload);
+
+  /// Durably flushes all appended records.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Env* env_;
+  std::string path_;
+};
+
+struct WalReadResult {
+  /// Payloads of all intact records, in append order.
+  std::vector<std::string> records;
+  /// True if trailing bytes (a torn record) were dropped.
+  bool torn_tail = false;
+  /// File size covered by the header plus the intact records.
+  size_t valid_size = 0;
+};
+
+/// Reads every intact record of the log. Missing file → kIoError; header
+/// that is present-but-wrong → kCorruption; torn tail → reported, not an
+/// error (recovery truncates there, in line with the durability contract
+/// that unsynced bytes may vanish).
+Result<WalReadResult> ReadWal(const Env& env, const std::string& path);
+
+}  // namespace ttra
+
+#endif  // TTRA_STORAGE_WAL_H_

@@ -24,6 +24,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "invalid-argument";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kIoError:
+      return "io-error";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
@@ -66,6 +70,12 @@ Status InvalidArgumentError(std::string_view message) {
 }
 Status InternalError(std::string_view message) {
   return Status(ErrorCode::kInternal, std::string(message));
+}
+Status IoError(std::string_view message) {
+  return Status(ErrorCode::kIoError, std::string(message));
+}
+Status UnavailableError(std::string_view message) {
+  return Status(ErrorCode::kUnavailable, std::string(message));
 }
 
 }  // namespace ttra

@@ -38,6 +38,13 @@ enum class ErrorCode {
   kInvalidArgument,
   /// Internal invariant violated; indicates a bug in the library.
   kInternal,
+  /// A filesystem operation (write, sync, rename, ...) failed. The
+  /// operation had no effect or a partial effect; durability code treats
+  /// the affected bytes as lost.
+  kIoError,
+  /// The component is in a failed state and refuses new work until it is
+  /// recovered (e.g. a durable executor after a log-write failure).
+  kUnavailable,
 };
 
 /// Returns a stable lowercase name, e.g. "schema-mismatch".
@@ -84,6 +91,8 @@ Status ParseError(std::string_view message);
 Status CorruptionError(std::string_view message);
 Status InvalidArgumentError(std::string_view message);
 Status InternalError(std::string_view message);
+Status IoError(std::string_view message);
+Status UnavailableError(std::string_view message);
 
 }  // namespace ttra
 

@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include "rollback/durable_executor.h"
+#include "rollback/persistence.h"
+#include "storage/env.h"
+
+namespace ttra {
+namespace {
+
+// The crash-recovery contract under SyncPolicy::kAlways, verified against
+// the paper's semantics: the database is a pure function of its committed
+// command sequence (C⟦·⟧), so after a crash at ANY write point, the
+// recovered database must equal the oracle evaluation of some *prefix* of
+// the submitted sentence sequence — and that prefix must contain every
+// sentence whose submission was acknowledged before the crash.
+
+struct Step {
+  std::vector<Command> sentence;
+  bool atomic = false;
+};
+
+Schema MakeSchema(std::vector<Attribute> attributes) {
+  return *Schema::Make(std::move(attributes));
+}
+
+Schema EmpSchema() {
+  return MakeSchema(
+      {{"name", ValueType::kString}, {"salary", ValueType::kInt}});
+}
+
+SnapshotState EmpState(
+    std::initializer_list<std::pair<const char*, int64_t>> rows) {
+  std::vector<Tuple> tuples;
+  for (const auto& [name, salary] : rows) {
+    tuples.push_back(Tuple{Value::String(name), Value::Int(salary)});
+  }
+  return *SnapshotState::Make(EmpSchema(), std::move(tuples));
+}
+
+HistoricalState HistState(
+    std::initializer_list<std::tuple<const char*, Chronon, Chronon>> rows) {
+  std::vector<HistoricalTuple> tuples;
+  for (const auto& [name, from, to] : rows) {
+    tuples.push_back(HistoricalTuple{Tuple{Value::String(name)},
+                                     TemporalElement::Span(from, to)});
+  }
+  return *HistoricalState::Make(MakeSchema({{"name", ValueType::kString}}),
+                                std::move(tuples));
+}
+
+/// A workload exercising every command form, both submit modes, and —
+/// deliberately — command-level failures, whose exact partial effects must
+/// also survive recovery.
+std::vector<Step> Workload() {
+  std::vector<Step> steps;
+  steps.push_back(
+      {{DefineRelationCmd{"emp", RelationType::kRollback, EmpSchema()}}});
+  steps.push_back({{ModifySnapshotCmd{"emp", EmpState({{"ed", 100}})}}});
+  steps.push_back({{ModifySnapshotCmd{
+      "emp", EmpState({{"ed", 100}, {"amy", 200}})}}});
+  // One multi-command sentence, applied atomically.
+  steps.push_back(
+      {{DefineRelationCmd{"hist", RelationType::kTemporal,
+                          MakeSchema({{"name", ValueType::kString}})},
+        ModifyHistoricalCmd{"hist", HistState({{"x", 0, 10}})}},
+       /*atomic=*/true});
+  // Paper sequencing with a failing command in the middle: define_relation
+  // on a bound identifier fails, the rest of the sentence still applies.
+  steps.push_back(
+      {{ModifySnapshotCmd{"emp", EmpState({{"amy", 250}})},
+        DefineRelationCmd{"emp", RelationType::kSnapshot, EmpSchema()},
+        ModifyHistoricalCmd{"hist", HistState({{"x", 0, 20}})}}});
+  // An atomic sentence that fails: must leave no trace, before and after
+  // recovery.
+  steps.push_back(
+      {{ModifySnapshotCmd{"emp", EmpState({{"ghost", 1}})},
+        ModifySnapshotCmd{"missing", EmpState({})}},
+       /*atomic=*/true});
+  steps.push_back({{ModifySchemaCmd{
+      "emp", MakeSchema({{"name", ValueType::kString},
+                        {"salary", ValueType::kInt},
+                        {"dept", ValueType::kString}})}}});
+  steps.push_back({{DeleteRelationCmd{"hist"}}});
+  steps.push_back(
+      {{DefineRelationCmd{"now", RelationType::kSnapshot,
+                          MakeSchema({{"n", ValueType::kInt}})},
+        ModifySnapshotCmd{"now",
+                          *SnapshotState::Make(
+                              MakeSchema({{"n", ValueType::kInt}}),
+                              {Tuple{Value::Int(7)}})}}});
+  return steps;
+}
+
+/// Oracle: the paper semantics applied directly to a Database, mirroring
+/// the executor's two submit modes. Returns the canonical encoding of the
+/// database after each prefix of the workload (index k = k steps applied).
+std::vector<std::string> OraclePrefixStates(const std::vector<Step>& steps) {
+  Database db;
+  std::vector<std::string> states;
+  states.push_back(EncodeDatabase(db));
+  for (const Step& step : steps) {
+    if (step.atomic) {
+      Database scratch = db.Clone();
+      if (ApplySentence(scratch, step.sentence).ok()) db = std::move(scratch);
+    } else {
+      ApplySentence(db, step.sentence);
+    }
+    states.push_back(EncodeDatabase(db));
+  }
+  return states;
+}
+
+bool IsIoFailure(const Status& status) {
+  return status.code() == ErrorCode::kIoError ||
+         status.code() == ErrorCode::kUnavailable;
+}
+
+/// Runs the workload against a fresh FaultInjectionEnv with a fault armed
+/// at op `fault_at` (0 = no fault), crashes at the first I/O failure (or
+/// at the end), recovers with a brand-new executor, and checks the
+/// recovered database against the oracle prefixes.
+void RunCrashPoint(uint64_t fault_at, FaultInjectionEnv::FaultMode mode,
+                   const DurableOptions& options,
+                   const std::vector<Step>& steps,
+                   const std::vector<std::string>& oracle,
+                   uint64_t* total_ops = nullptr) {
+  SCOPED_TRACE("fault at op " + std::to_string(fault_at) +
+               (mode == FaultInjectionEnv::FaultMode::kFailOp ? " (fail)"
+                                                              : " (torn)"));
+  FaultInjectionEnv env;
+  auto exec =
+      std::make_unique<DurableExecutor>(&env, "walled-garden", options);
+  ASSERT_TRUE(exec->Open().ok());
+  if (fault_at != 0) env.InjectFault(fault_at, mode);
+
+  // `acked` = number of leading workload steps whose submission returned a
+  // non-I/O status: those sentences are durably logged (kAlways policy)
+  // and MUST be reflected by recovery. Command-level errors still count as
+  // acknowledged — the sentence is in the log, its (partial or null)
+  // effect is deterministic.
+  size_t acked = 0;
+  for (const Step& step : steps) {
+    Result<TransactionNumber> result =
+        step.atomic ? exec->SubmitAtomic(step.sentence)
+                    : exec->Submit(step.sentence);
+    if (!result.ok() && IsIoFailure(result.status())) break;  // "crash"
+    ++acked;
+  }
+  if (total_ops != nullptr) *total_ops = env.op_count();
+
+  // Power loss: unsynced bytes vanish; then a new process recovers.
+  exec.reset();
+  env.Crash();
+  DurableExecutor recovered(&env, "walled-garden", options);
+  ASSERT_TRUE(recovered.Open().ok());
+
+  // Largest matching prefix: sentences that fail (atomically or entirely)
+  // leave the state unchanged, so consecutive prefixes can be identical
+  // and the first match would under-count.
+  const std::string state = EncodeDatabase(recovered.Snapshot());
+  size_t matched = oracle.size();
+  for (size_t k = oracle.size(); k-- > 0;) {
+    if (state == oracle[k]) {
+      matched = k;
+      break;
+    }
+  }
+  ASSERT_LT(matched, oracle.size())
+      << "recovered database matches no prefix of the command sequence";
+  EXPECT_GE(matched, acked)
+      << "recovery lost an acknowledged commit: recovered prefix " << matched
+      << " < acknowledged " << acked;
+
+  // The recovered executor keeps working and numbers new transactions
+  // strictly above everything it recovered.
+  const TransactionNumber resumed = recovered.transaction_number();
+  auto txn = recovered.Submit(Command(DefineRelationCmd{
+      "post_recovery", RelationType::kSnapshot, EmpSchema()}));
+  ASSERT_TRUE(txn.ok()) << txn.status();
+  EXPECT_EQ(*txn, resumed + 1);
+}
+
+class CrashRecoveryTest
+    : public ::testing::TestWithParam<FaultInjectionEnv::FaultMode> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, CrashRecoveryTest,
+    ::testing::Values(FaultInjectionEnv::FaultMode::kFailOp,
+                      FaultInjectionEnv::FaultMode::kTornAppend),
+    [](const auto& info) {
+      return info.param == FaultInjectionEnv::FaultMode::kFailOp
+                 ? "FailOp"
+                 : "TornAppend";
+    });
+
+TEST_P(CrashRecoveryTest, EveryFaultPointRecoversToAnAckedPrefix) {
+  const std::vector<Step> steps = Workload();
+  const std::vector<std::string> oracle = OraclePrefixStates(steps);
+  DurableOptions options;  // kAlways
+
+  // The fault-free run sizes the sweep. Faults are armed relative to the
+  // op counter after Open(), so high n values run the workload to
+  // completion and just re-verify clean recovery.
+  uint64_t total_ops = 0;
+  RunCrashPoint(0, GetParam(), options, steps, oracle, &total_ops);
+  ASSERT_GT(total_ops, 0u);
+
+  for (uint64_t n = 1; n <= total_ops; ++n) {
+    RunCrashPoint(n, GetParam(), options, steps, oracle);
+  }
+}
+
+TEST_P(CrashRecoveryTest, EveryFaultPointWithAutoCheckpoint) {
+  const std::vector<Step> steps = Workload();
+  const std::vector<std::string> oracle = OraclePrefixStates(steps);
+  DurableOptions options;
+  options.checkpoint_every = 2;  // exercise checkpoint + truncation faults
+
+  uint64_t total_ops = 0;
+  RunCrashPoint(0, GetParam(), options, steps, oracle, &total_ops);
+  ASSERT_GT(total_ops, 0u);
+
+  for (uint64_t n = 1; n <= total_ops; ++n) {
+    RunCrashPoint(n, GetParam(), options, steps, oracle);
+  }
+}
+
+TEST(CrashRecoveryTest, FaultDuringRecoveryItselfIsRetryable) {
+  const std::vector<Step> steps = Workload();
+  const std::vector<std::string> oracle = OraclePrefixStates(steps);
+
+  // Populate a directory, then sweep faults over recovery's own writes
+  // (checkpoint republication, WAL truncation): a failed Open must leave
+  // the on-disk state recoverable by a later, fault-free Open.
+  FaultInjectionEnv env;
+  {
+    DurableExecutor exec(&env, "d", DurableOptions{});
+    ASSERT_TRUE(exec.Open().ok());
+    for (const Step& step : steps) {
+      auto r = step.atomic ? exec.SubmitAtomic(step.sentence)
+                           : exec.Submit(step.sentence);
+      if (!r.ok()) ASSERT_FALSE(IsIoFailure(r.status())) << r.status();
+    }
+  }
+  const uint64_t ops_before = env.op_count();
+  // Measure how many ops one recovery takes.
+  {
+    DurableExecutor probe(&env, "d", DurableOptions{});
+    ASSERT_TRUE(probe.Open().ok());
+  }
+  const uint64_t recovery_ops = env.op_count() - ops_before;
+  ASSERT_GT(recovery_ops, 0u);
+
+  for (uint64_t n = 1; n <= recovery_ops; ++n) {
+    SCOPED_TRACE("recovery fault at op " + std::to_string(n));
+    env.InjectFault(n, FaultInjectionEnv::FaultMode::kFailOp);
+    DurableExecutor exec(&env, "d", DurableOptions{});
+    Status first = exec.Open();
+    if (!first.ok()) {
+      env.Crash();
+      ASSERT_TRUE(exec.Open().ok()) << "retry after recovery fault failed";
+    }
+    EXPECT_EQ(EncodeDatabase(exec.Snapshot()), oracle.back());
+  }
+}
+
+TEST(CrashRecoveryTest, RecoveryIsIdempotent) {
+  InMemoryEnv env;
+  DurableOptions options;
+  DurableExecutor exec(&env, "d", options);
+  ASSERT_TRUE(exec.Open().ok());
+  const std::vector<Step> steps = Workload();
+  for (const Step& step : steps) {
+    auto r = step.atomic ? exec.SubmitAtomic(step.sentence)
+                         : exec.Submit(step.sentence);
+    if (!r.ok()) ASSERT_FALSE(IsIoFailure(r.status())) << r.status();
+  }
+  const std::string want = EncodeDatabase(exec.Snapshot());
+  // Recover twice in a row without any crash: state must be stable.
+  for (int round = 0; round < 2; ++round) {
+    DurableExecutor again(&env, "d", options);
+    ASSERT_TRUE(again.Open().ok());
+    EXPECT_EQ(EncodeDatabase(again.Snapshot()), want) << "round " << round;
+  }
+}
+
+TEST(CrashRecoveryTest, FailedExecutorRejectsWorkUntilReopened) {
+  FaultInjectionEnv env;
+  DurableExecutor exec(&env, "d", DurableOptions{});
+  ASSERT_TRUE(exec.Open().ok());
+  env.InjectFault(1, FaultInjectionEnv::FaultMode::kFailOp);
+  auto failed = exec.Submit(Command(DefineRelationCmd{
+      "r", RelationType::kSnapshot, EmpSchema()}));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), ErrorCode::kIoError);
+  EXPECT_FALSE(exec.healthy());
+  // Fail-stop: even though the env works again, the executor refuses.
+  auto rejected = exec.Submit(Command(DefineRelationCmd{
+      "r", RelationType::kSnapshot, EmpSchema()}));
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kUnavailable);
+  // Reopen re-derives state from disk and resumes service.
+  ASSERT_TRUE(exec.Open().ok());
+  EXPECT_TRUE(exec.healthy());
+  EXPECT_TRUE(exec.Submit(Command(DefineRelationCmd{
+                       "r", RelationType::kSnapshot, EmpSchema()}))
+                  .ok());
+}
+
+TEST(CrashRecoveryTest, TornTailIsReportedByRecovery) {
+  InMemoryEnv env;
+  DurableExecutor exec(&env, "d", DurableOptions{});
+  ASSERT_TRUE(exec.Open().ok());
+  ASSERT_TRUE(exec.Submit(Command(DefineRelationCmd{
+                       "emp", RelationType::kRollback, EmpSchema()}))
+                  .ok());
+  // Hand-tear the log: append garbage that a crash could have left.
+  ASSERT_TRUE(env.Append("d/wal.log", "torn-half-record").ok());
+  DurableExecutor recovered(&env, "d", DurableOptions{});
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_TRUE(recovered.last_recovery().torn_tail);
+  EXPECT_EQ(recovered.last_recovery().replayed_records, 1u);
+  EXPECT_EQ(recovered.transaction_number(), 1u);
+}
+
+TEST(CrashRecoveryTest, CheckpointTruncatesWalAndPreservesState) {
+  InMemoryEnv env;
+  DurableExecutor exec(&env, "d", DurableOptions{});
+  ASSERT_TRUE(exec.Open().ok());
+  const std::vector<Step> steps = Workload();
+  for (const Step& step : steps) {
+    auto r = step.atomic ? exec.SubmitAtomic(step.sentence)
+                         : exec.Submit(step.sentence);
+    if (!r.ok()) ASSERT_FALSE(IsIoFailure(r.status())) << r.status();
+  }
+  const std::string want = EncodeDatabase(exec.Snapshot());
+  ASSERT_TRUE(exec.Checkpoint().ok());
+  auto wal = ReadWal(env, "d/wal.log");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(wal->records.empty());  // all state now in the checkpoint
+
+  DurableExecutor recovered(&env, "d", DurableOptions{});
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(recovered.last_recovery().replayed_records, 0u);
+  EXPECT_EQ(EncodeDatabase(recovered.Snapshot()), want);
+}
+
+TEST(CrashRecoveryTest, SyncPolicyBatchMayLoseOnlyUnsyncedSuffix) {
+  const std::vector<Step> steps = Workload();
+  const std::vector<std::string> oracle = OraclePrefixStates(steps);
+  DurableOptions options;
+  options.sync_policy = SyncPolicy::kBatch;
+  options.batch_size = 4;
+
+  FaultInjectionEnv env;
+  DurableExecutor exec(&env, "d", options);
+  ASSERT_TRUE(exec.Open().ok());
+  for (const Step& step : steps) {
+    auto r = step.atomic ? exec.SubmitAtomic(step.sentence)
+                         : exec.Submit(step.sentence);
+    if (!r.ok()) ASSERT_FALSE(IsIoFailure(r.status())) << r.status();
+  }
+  env.Crash();  // power loss with unsynced commits in flight
+  DurableExecutor recovered(&env, "d", options);
+  ASSERT_TRUE(recovered.Open().ok());
+  const std::string state = EncodeDatabase(recovered.Snapshot());
+  // Still a consistent prefix — just not necessarily the full workload.
+  bool is_prefix = false;
+  for (const std::string& prefix : oracle) is_prefix |= (state == prefix);
+  EXPECT_TRUE(is_prefix);
+}
+
+TEST(CrashRecoveryTest, RunsOnTheRealFilesystemToo) {
+  Env* env = Env::Default();
+  const std::string dir = ::testing::TempDir() + "/ttra_crash_posix";
+  // Start from a clean directory: TempDir persists across test runs.
+  for (const char* file : {"/wal.log", "/checkpoint.db", "/checkpoint.db.tmp"}) {
+    if (env->Exists(dir + file)) ASSERT_TRUE(env->Remove(dir + file).ok());
+  }
+  DurableOptions options;
+  {
+    DurableExecutor exec(env, dir, options);
+    ASSERT_TRUE(exec.Open().ok());
+    const std::vector<Step> steps = Workload();
+    for (const Step& step : steps) {
+      auto r = step.atomic ? exec.SubmitAtomic(step.sentence)
+                           : exec.Submit(step.sentence);
+      if (!r.ok()) ASSERT_FALSE(IsIoFailure(r.status())) << r.status();
+    }
+  }  // executor destroyed without checkpoint: WAL is the only truth
+  DurableExecutor recovered(env, dir, options);
+  ASSERT_TRUE(recovered.Open().ok());
+  const std::vector<std::string> oracle = OraclePrefixStates(Workload());
+  EXPECT_EQ(EncodeDatabase(recovered.Snapshot()), oracle.back());
+  EXPECT_GT(recovered.last_recovery().replayed_records, 0u);
+}
+
+}  // namespace
+}  // namespace ttra

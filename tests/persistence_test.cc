@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "lang/evaluator.h"
@@ -130,6 +131,38 @@ TEST(PersistenceTest, TruncationDetected) {
     auto decoded =
         DecodeDatabase(std::string_view(good).substr(0, keep));
     EXPECT_FALSE(decoded.ok()) << "truncation at " << keep;
+  }
+}
+
+TEST(PersistenceTest, TruncationAtEveryOffsetIsCorruption) {
+  // A crash can cut the file anywhere; every cut must decode to
+  // kCorruption — never crash, never yield a wrong database.
+  Database db = BuildSampleDb();
+  const std::string good = EncodeDatabase(db);
+  for (size_t keep = 0; keep < good.size(); ++keep) {
+    auto decoded = DecodeDatabase(std::string_view(good).substr(0, keep));
+    ASSERT_FALSE(decoded.ok()) << "truncation at " << keep << " undetected";
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kCorruption)
+        << "truncation at " << keep;
+  }
+}
+
+TEST(PersistenceTest, EveryBitFlipInHeaderAndFirstFrameIsCorruption) {
+  // Single-bit rot in the frame header (magic, version, checksum, length)
+  // or the leading payload bytes must always surface as kCorruption.
+  Database db = BuildSampleDb();
+  const std::string good = EncodeDatabase(db);
+  const size_t probe = std::min<size_t>(good.size(), 96);
+  for (size_t byte = 0; byte < probe; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = good;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+      auto decoded = DecodeDatabase(bad);
+      ASSERT_FALSE(decoded.ok())
+          << "flip of bit " << bit << " in byte " << byte << " undetected";
+      EXPECT_EQ(decoded.status().code(), ErrorCode::kCorruption)
+          << "byte " << byte << " bit " << bit;
+    }
   }
 }
 

@@ -1,0 +1,237 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/env.h"
+
+namespace ttra {
+namespace {
+
+// --- Env backends ----------------------------------------------------------
+
+TEST(PosixEnvTest, AppendSyncReadRoundTrip) {
+  Env* env = Env::Default();
+  const std::string path = ::testing::TempDir() + "/ttra_env_test.bin";
+  ASSERT_TRUE(env->Truncate(path).ok());
+  ASSERT_TRUE(env->Append(path, "hello ").ok());
+  ASSERT_TRUE(env->Append(path, "world").ok());
+  ASSERT_TRUE(env->Sync(path).ok());
+  auto content = env->Read(path);
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(*content, "hello world");
+  EXPECT_TRUE(env->Exists(path));
+  ASSERT_TRUE(env->Remove(path).ok());
+  EXPECT_FALSE(env->Exists(path));
+  EXPECT_EQ(env->Read(path).status().code(), ErrorCode::kIoError);
+}
+
+TEST(PosixEnvTest, RenameReplacesAtomically) {
+  Env* env = Env::Default();
+  const std::string a = ::testing::TempDir() + "/ttra_env_a.bin";
+  const std::string b = ::testing::TempDir() + "/ttra_env_b.bin";
+  ASSERT_TRUE(env->Truncate(a).ok());
+  ASSERT_TRUE(env->Append(a, "new").ok());
+  ASSERT_TRUE(env->Truncate(b).ok());
+  ASSERT_TRUE(env->Append(b, "old").ok());
+  ASSERT_TRUE(env->Rename(a, b).ok());
+  EXPECT_FALSE(env->Exists(a));
+  EXPECT_EQ(*env->Read(b), "new");
+  ASSERT_TRUE(env->Remove(b).ok());
+}
+
+TEST(PosixEnvTest, ListAndCreateDir) {
+  Env* env = Env::Default();
+  const std::string dir = ::testing::TempDir() + "/ttra_env_list_dir";
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  ASSERT_TRUE(env->CreateDir(dir).ok());  // idempotent
+  ASSERT_TRUE(env->Append(dir + "/b.txt", "x").ok());
+  ASSERT_TRUE(env->Append(dir + "/a.txt", "y").ok());
+  auto names = env->List(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a.txt", "b.txt"}));
+  ASSERT_TRUE(env->Remove(dir + "/a.txt").ok());
+  ASSERT_TRUE(env->Remove(dir + "/b.txt").ok());
+}
+
+TEST(InMemoryEnvTest, DropUnsyncedLosesExactlyTheUnsyncedSuffix) {
+  InMemoryEnv env;
+  ASSERT_TRUE(env.Append("f", "durable").ok());
+  ASSERT_TRUE(env.Sync("f").ok());
+  ASSERT_TRUE(env.Append("f", " volatile").ok());
+  env.DropUnsynced();
+  EXPECT_EQ(*env.Read("f"), "durable");
+  // A second crash loses nothing more.
+  env.DropUnsynced();
+  EXPECT_EQ(*env.Read("f"), "durable");
+}
+
+TEST(InMemoryEnvTest, RenameIsDurable) {
+  InMemoryEnv env;
+  ASSERT_TRUE(env.Append("tmp", "payload").ok());
+  ASSERT_TRUE(env.Sync("tmp").ok());
+  ASSERT_TRUE(env.Rename("tmp", "final").ok());
+  env.DropUnsynced();
+  EXPECT_FALSE(env.Exists("tmp"));
+  EXPECT_EQ(*env.Read("final"), "payload");
+}
+
+TEST(FaultInjectionEnvTest, FailsTheNthOperation) {
+  FaultInjectionEnv env;
+  env.InjectFault(2, FaultInjectionEnv::FaultMode::kFailOp);
+  EXPECT_TRUE(env.Append("f", "a").ok());
+  Status failed = env.Append("f", "b");
+  EXPECT_EQ(failed.code(), ErrorCode::kIoError);
+  EXPECT_TRUE(env.fault_triggered());
+  // One-shot: subsequent ops succeed again.
+  EXPECT_TRUE(env.Append("f", "c").ok());
+  EXPECT_EQ(*env.Read("f"), "ac");
+}
+
+TEST(FaultInjectionEnvTest, TornAppendWritesAPrefix) {
+  FaultInjectionEnv env;
+  env.InjectFault(1, FaultInjectionEnv::FaultMode::kTornAppend);
+  EXPECT_EQ(env.Append("f", "0123456789").code(), ErrorCode::kIoError);
+  EXPECT_EQ(*env.Read("f"), "01234");  // half the write landed
+  env.Crash();
+  EXPECT_EQ(*env.Read("f"), "");  // and none of it was synced
+}
+
+TEST(FaultInjectionEnvTest, CountsAllMutatingOps) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.Truncate("f").ok());
+  ASSERT_TRUE(env.Append("f", "x").ok());
+  ASSERT_TRUE(env.Sync("f").ok());
+  ASSERT_TRUE(env.Rename("f", "g").ok());
+  ASSERT_TRUE(env.Remove("g").ok());
+  EXPECT_EQ(env.op_count(), 5u);
+}
+
+// --- WAL -------------------------------------------------------------------
+
+TEST(WalTest, RoundTripsRecordsInOrder) {
+  InMemoryEnv env;
+  WalWriter writer(&env, "wal");
+  ASSERT_TRUE(writer.Create().ok());
+  ASSERT_TRUE(writer.AddRecord("first").ok());
+  ASSERT_TRUE(writer.AddRecord("").ok());  // empty payloads are legal
+  ASSERT_TRUE(writer.AddRecord("third record, longer").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  auto read = ReadWal(env, "wal");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->records,
+            (std::vector<std::string>{"first", "", "third record, longer"}));
+  EXPECT_FALSE(read->torn_tail);
+}
+
+TEST(WalTest, CreateDiscardsExistingRecords) {
+  InMemoryEnv env;
+  WalWriter writer(&env, "wal");
+  ASSERT_TRUE(writer.Create().ok());
+  ASSERT_TRUE(writer.AddRecord("old").ok());
+  ASSERT_TRUE(writer.Create().ok());
+  auto read = ReadWal(env, "wal");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->records.empty());
+}
+
+TEST(WalTest, TornTailIsTruncatedNotFatal) {
+  InMemoryEnv env;
+  WalWriter writer(&env, "wal");
+  ASSERT_TRUE(writer.Create().ok());
+  ASSERT_TRUE(writer.AddRecord("intact-1").ok());
+  ASSERT_TRUE(writer.AddRecord("intact-2").ok());
+  const size_t intact_size = env.Read("wal")->size();
+  ASSERT_TRUE(writer.AddRecord("the record a crash tears").ok());
+  const std::string full = *env.Read("wal");
+
+  // Simulate every possible torn tail: the file ends mid-record (cuts
+  // strictly inside the third record; at intact_size the file is whole).
+  for (size_t cut = intact_size + 1; cut < full.size(); ++cut) {
+    InMemoryEnv torn;
+    ASSERT_TRUE(torn.Append("wal", full.substr(0, cut)).ok());
+    auto read = ReadWal(torn, "wal");
+    ASSERT_TRUE(read.ok()) << "cut at " << cut << ": " << read.status();
+    EXPECT_EQ(read->records,
+              (std::vector<std::string>{"intact-1", "intact-2"}))
+        << "cut at " << cut;
+    EXPECT_TRUE(read->torn_tail) << "cut at " << cut;
+    EXPECT_EQ(read->valid_size, intact_size) << "cut at " << cut;
+  }
+}
+
+TEST(WalTest, CorruptRecordTruncatesTail) {
+  InMemoryEnv env;
+  WalWriter writer(&env, "wal");
+  ASSERT_TRUE(writer.Create().ok());
+  ASSERT_TRUE(writer.AddRecord("good").ok());
+  const size_t good_size = env.Read("wal")->size();
+  ASSERT_TRUE(writer.AddRecord("bad").ok());
+  std::string data = *env.Read("wal");
+  data.back() ^= 0x01;  // flip a payload bit in the last record
+  InMemoryEnv damaged;
+  ASSERT_TRUE(damaged.Append("wal", data).ok());
+  auto read = ReadWal(damaged, "wal");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records, std::vector<std::string>{"good"});
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_EQ(read->valid_size, good_size);
+}
+
+TEST(WalTest, ForeignFileIsCorruptionNotTornTail) {
+  InMemoryEnv env;
+  ASSERT_TRUE(env.Append("wal", "this is not a wal, definitely").ok());
+  EXPECT_EQ(ReadWal(env, "wal").status().code(), ErrorCode::kCorruption);
+}
+
+TEST(WalTest, ShortHeaderReadsAsEmptyTornLog) {
+  InMemoryEnv env;
+  ASSERT_TRUE(env.Append("wal", "abc").ok());  // header never made it
+  auto read = ReadWal(env, "wal");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_TRUE(read->torn_tail);
+}
+
+TEST(WalTest, MissingFileIsAnIoError) {
+  InMemoryEnv env;
+  EXPECT_EQ(ReadWal(env, "nope").status().code(), ErrorCode::kIoError);
+}
+
+TEST(WalTest, AppendAfterReopenContinuesTheLog) {
+  InMemoryEnv env;
+  {
+    WalWriter writer(&env, "wal");
+    ASSERT_TRUE(writer.Create().ok());
+    ASSERT_TRUE(writer.AddRecord("before").ok());
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+  {
+    WalWriter writer(&env, "wal");
+    ASSERT_TRUE(writer.OpenForAppend().ok());
+    ASSERT_TRUE(writer.AddRecord("after").ok());
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+  auto read = ReadWal(env, "wal");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records, (std::vector<std::string>{"before", "after"}));
+}
+
+TEST(WalTest, WorksOnThePosixBackend) {
+  Env* env = Env::Default();
+  const std::string path = ::testing::TempDir() + "/ttra_wal_test.log";
+  WalWriter writer(env, path);
+  ASSERT_TRUE(writer.Create().ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(writer.AddRecord("record-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+  auto read = ReadWal(*env, path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->records.size(), 100u);
+  EXPECT_EQ(read->records[99], "record-99");
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_TRUE(env->Remove(path).ok());
+}
+
+}  // namespace
+}  // namespace ttra

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Full local gate: build + test normally, then again under ASan/UBSan.
+#
+#   tools/check.sh            # both passes
+#   tools/check.sh --fast     # normal pass only
+#
+# Run from the repository root. Build trees go to build/ (normal) and
+# build-san/ (sanitized) so the two configurations never collide.
+set -eu
+
+jobs=$(nproc 2>/dev/null || echo 4)
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+run_pass() {
+  dir=$1
+  shift
+  echo "== configure $dir ($*)"
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "== build $dir"
+  cmake --build "$dir" -j "$jobs"
+  echo "== test $dir"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_pass build
+
+if [ "$fast" -eq 0 ]; then
+  # Leak detection needs ptrace; fall back gracefully inside containers.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
+  run_pass build-san "-DTTRA_SANITIZE=address;undefined"
+fi
+
+echo "== all checks passed"

@@ -1,16 +1,25 @@
 // ttra — command-line driver for the transaction-time algebraic language.
 //
 //   ttra run <script> [--db <file>] [--save <file>] [--lax] [--optimize]
-//                     [--explain]
+//                     [--explain] [--wal-dir <dir>] [--fresh] [--recover]
 //   ttra describe --db <file>
 //   ttra vacuum --db <file> --relation <name> --before <txn>
 //               [--archive <file>] [--save <file>]
+//   ttra recover --wal-dir <dir> [--save <file>]
 //
 // `run` executes a script of language statements against an empty database
 // or one loaded with --db, printing every show() result; --save persists
 // the resulting database. --optimize rewrites each expression with the
 // algebraic optimizer before evaluation; --explain prints each statement's
 // operator tree (after optimization, if enabled) without special casing.
+//
+// With --wal-dir, `run` executes durably: state is recovered from the
+// directory's checkpoint + write-ahead log, and every update is logged and
+// fsync'ed before it is acknowledged, so a crash mid-script loses nothing
+// that was reported committed. --fresh discards any previous state in the
+// directory first; --recover prints a recovery report before running.
+// `recover` just recovers, reports, and (with --save) exports a plain
+// database file.
 
 #include <fstream>
 #include <iostream>
@@ -24,8 +33,10 @@
 #include "lang/parser.h"
 #include "lang/printer.h"
 #include "optimizer/rewriter.h"
+#include "rollback/durable_executor.h"
 #include "rollback/persistence.h"
 #include "rollback/vacuum.h"
+#include "storage/env.h"
 
 namespace {
 
@@ -42,6 +53,8 @@ struct Flags {
   bool lax = false;
   bool optimize = false;
   bool explain = false;
+  bool fresh = false;
+  bool recover = false;
 };
 
 bool ParseFlags(int argc, char** argv, Flags& flags) {
@@ -53,6 +66,10 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
       flags.optimize = true;
     } else if (arg == "--explain") {
       flags.explain = true;
+    } else if (arg == "--fresh") {
+      flags.fresh = true;
+    } else if (arg == "--recover") {
+      flags.recover = true;
     } else if (arg.rfind("--", 0) == 0) {
       if (i + 1 >= argc) {
         std::cerr << "ttra: flag " << arg << " needs a value\n";
@@ -106,10 +123,108 @@ const lang::Expr* StmtExpr(const lang::Stmt& stmt) {
   return nullptr;
 }
 
+/// Translates a non-show language statement into the algebra's command
+/// domain, evaluating any modify_state expression against `db`.
+Result<Command> StmtToCommand(const lang::Stmt& stmt, const Database& db) {
+  if (const auto* s = std::get_if<lang::DefineRelationStmt>(&stmt)) {
+    return Command(DefineRelationCmd{s->name, s->type, s->schema});
+  }
+  if (const auto* s = std::get_if<lang::ModifyStateStmt>(&stmt)) {
+    TTRA_ASSIGN_OR_RETURN(lang::StateValue value,
+                          lang::EvalExpr(s->expr, db));
+    if (auto* snapshot = std::get_if<SnapshotState>(&value)) {
+      return Command(ModifySnapshotCmd{s->name, std::move(*snapshot)});
+    }
+    return Command(ModifyHistoricalCmd{
+        s->name, std::get<HistoricalState>(std::move(value))});
+  }
+  if (const auto* s = std::get_if<lang::DeleteRelationStmt>(&stmt)) {
+    return Command(DeleteRelationCmd{s->name});
+  }
+  if (const auto* s = std::get_if<lang::ModifySchemaStmt>(&stmt)) {
+    return Command(ModifySchemaCmd{s->name, s->schema});
+  }
+  return InvalidArgumentError("show statements are not commands");
+}
+
+void ReportRecovery(const DurableExecutor& exec) {
+  const DurableExecutor::RecoveryInfo info = exec.last_recovery();
+  std::cout << "recovered transaction " << exec.transaction_number()
+            << " (checkpoint at " << info.checkpoint_txn << ", "
+            << info.replayed_records << " wal record(s) replayed"
+            << (info.torn_tail ? ", torn tail truncated" : "") << ")\n";
+}
+
+/// `run --wal-dir`: the script executes through a DurableExecutor, so
+/// every statement is logged and fsync'ed before it is acknowledged.
+int CmdRunDurable(const Flags& flags, const std::string& wal_dir) {
+  std::ifstream in(flags.positional[1]);
+  if (!in) return Fail("cannot open script: " + flags.positional[1]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto program = lang::ParseProgram(buffer.str());
+  if (!program.ok()) return Fail(program.status().ToString());
+  if (flags.values.count("db")) {
+    return Fail("--db and --wal-dir are exclusive; durable state lives in "
+                "the wal directory (export it with --save)");
+  }
+
+  Env* env = Env::Default();
+  if (flags.fresh) {
+    for (const char* name : {"wal.log", "checkpoint.db", "checkpoint.db.tmp"}) {
+      const std::string path = wal_dir + "/" + std::string(name);
+      if (!env->Exists(path)) continue;
+      Status removed = env->Remove(path);
+      if (!removed.ok()) {
+        return Fail("cannot reset " + path + ": " + removed.ToString());
+      }
+    }
+  }
+  DurableExecutor exec(env, wal_dir);
+  Status opened = exec.Open();
+  if (!opened.ok()) return Fail("recovery failed: " + opened.ToString());
+  if (flags.recover) ReportRecovery(exec);
+
+  for (const lang::Stmt& raw : *program) {
+    const Database db = exec.Snapshot();  // read-only view for evaluation
+    lang::Catalog catalog(db);
+    const lang::Stmt stmt = flags.optimize ? OptimizeStmt(raw, catalog) : raw;
+    if (flags.explain) {
+      std::cout << "-- " << lang::StmtToString(stmt) << "\n";
+      if (const lang::Expr* expr = StmtExpr(stmt)) {
+        std::cout << lang::FormatExprTree(*expr);
+      }
+    }
+    Status status = Status::Ok();
+    if (const auto* show = std::get_if<lang::ShowStmt>(&stmt)) {
+      auto value = lang::EvalExpr(show->expr, db);
+      if (value.ok()) std::cout << lang::FormatTable(*value);
+      status = value.status();
+    } else {
+      auto command = StmtToCommand(stmt, db);
+      status = command.ok() ? exec.Submit(*command).status()
+                            : command.status();
+    }
+    if (!status.ok()) {
+      // An unhealthy executor means the log write itself failed; stopping
+      // is the only honest option even under --lax.
+      if (!flags.lax || !exec.healthy()) return Fail(status.ToString());
+      std::cerr << "ttra: " << status.ToString() << " (continuing)\n";
+    }
+  }
+  std::cout << "ok (transaction " << exec.transaction_number() << ")\n";
+  return SaveIfRequested(exec.Snapshot(), flags);
+}
+
 int CmdRun(const Flags& flags) {
   if (flags.positional.size() != 2) {
     return Fail("usage: ttra run <script> [--db f] [--save f] [--lax] "
-                "[--optimize] [--explain]");
+                "[--optimize] [--explain] [--wal-dir d] [--fresh] "
+                "[--recover]");
+  }
+  auto wal_dir = flags.values.find("wal-dir");
+  if (wal_dir != flags.values.end()) {
+    return CmdRunDurable(flags, wal_dir->second);
   }
   std::ifstream in(flags.positional[1]);
   if (!in) return Fail("cannot open script: " + flags.positional[1]);
@@ -182,17 +297,32 @@ int CmdVacuum(const Flags& flags) {
   return SaveIfRequested(*db, flags);
 }
 
+int CmdRecover(const Flags& flags) {
+  auto dir = flags.values.find("wal-dir");
+  if (dir == flags.values.end() || flags.positional.size() != 1) {
+    return Fail("usage: ttra recover --wal-dir <dir> [--save f]");
+  }
+  DurableExecutor exec(Env::Default(), dir->second);
+  Status opened = exec.Open();
+  if (!opened.ok()) return Fail("recovery failed: " + opened.ToString());
+  ReportRecovery(exec);
+  const Database db = exec.Snapshot();
+  std::cout << lang::DescribeDatabase(db);
+  return SaveIfRequested(db, flags);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, flags)) return 1;
   if (flags.positional.empty()) {
-    return Fail("usage: ttra <run|describe|vacuum> ...");
+    return Fail("usage: ttra <run|describe|vacuum|recover> ...");
   }
   const std::string& command = flags.positional[0];
   if (command == "run") return CmdRun(flags);
   if (command == "describe") return CmdDescribe(flags);
   if (command == "vacuum") return CmdVacuum(flags);
+  if (command == "recover") return CmdRecover(flags);
   return Fail("unknown command: " + command);
 }
