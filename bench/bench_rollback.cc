@@ -16,9 +16,10 @@ constexpr size_t kStateSize = 256;
 constexpr double kChurn = 0.1;
 
 Database BuildDatabase(StorageKind kind, size_t history,
-                       size_t checkpoint_interval) {
+                       size_t checkpoint_interval,
+                       size_t cache_capacity = kDefaultFindStateCacheCapacity) {
   workload::Generator gen(7);
-  Database db(DatabaseOptions{kind, checkpoint_interval});
+  Database db(DatabaseOptions{kind, checkpoint_interval, cache_capacity});
   const Schema schema = *Schema::Make({{"id", ValueType::kInt},
                                        {"payload", ValueType::kString}});
   (void)db.DefineRelation("r", RelationType::kRollback, schema);
@@ -85,6 +86,33 @@ void BM_RollbackCurrentInf(benchmark::State& state) {
   state.SetLabel(std::string(StorageKindName(kind)));
 }
 BENCHMARK(BM_RollbackCurrentInf)->DenseRange(0, 3);
+
+// --- Experiment E12: repeated ρ(R, N) with the FINDSTATE cache on/off ---
+//
+// Rolling a delta-backed relation repeatedly to the same past transaction
+// is the worst case for pure replay (O(history) per call) and the best
+// case for the reconstruction cache (O(1) after the first call).
+
+void RunRepeatedRollback(benchmark::State& state, size_t cache_capacity) {
+  const size_t history = static_cast<size_t>(state.range(0));
+  Database db = BuildDatabase(StorageKind::kDelta, history, 16,
+                              cache_capacity);
+  const TransactionNumber middle = 1 + history / 2;
+  for (auto _ : state) {
+    auto result = db.Rollback("r", middle);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["history"] = static_cast<double>(history);
+}
+
+void BM_RepeatedRollbackDeltaCached(benchmark::State& state) {
+  RunRepeatedRollback(state, kDefaultFindStateCacheCapacity);
+}
+void BM_RepeatedRollbackDeltaUncached(benchmark::State& state) {
+  RunRepeatedRollback(state, 0);
+}
+BENCHMARK(BM_RepeatedRollbackDeltaCached)->Range(64, 1024);
+BENCHMARK(BM_RepeatedRollbackDeltaUncached)->Range(64, 1024);
 
 // Checkpoint-interval sweep at fixed history: the E2/E3 tradeoff dial.
 void BM_RollbackCheckpointInterval(benchmark::State& state) {

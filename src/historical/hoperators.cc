@@ -1,6 +1,7 @@
 #include "historical/hoperators.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace ttra::historical_ops {
 
@@ -16,6 +17,60 @@ Status RequireUnionCompatible(const HistoricalState& lhs,
                                rhs.schema().ToString());
   }
   return Status::Ok();
+}
+
+// Splits a predicate into its top-level AND conjuncts.
+void CollectConjuncts(const Predicate& p, std::vector<Predicate>& out) {
+  if (p.kind() == Predicate::Kind::kAnd) {
+    CollectConjuncts(p.left(), out);
+    CollectConjuncts(p.right(), out);
+  } else {
+    out.push_back(p);
+  }
+}
+
+// An attr = attr conjunct usable as a hash-join key (see the snapshot
+// kernel): sides resolve in opposite schemes with identical types.
+struct EquiPair {
+  size_t lhs_index;
+  size_t rhs_index;
+};
+
+std::optional<EquiPair> AsEquiPair(const Predicate& p, const Schema& lhs,
+                                   const Schema& rhs) {
+  if (p.kind() != Predicate::Kind::kComparison || p.op() != CompareOp::kEq ||
+      !p.lhs().is_attr() || !p.rhs().is_attr()) {
+    return std::nullopt;
+  }
+  const std::string& a = p.lhs().attr_name();
+  const std::string& b = p.rhs().attr_name();
+  if (auto li = lhs.IndexOf(a)) {
+    auto rj = rhs.IndexOf(b);
+    if (rj && lhs.attribute(*li).type == rhs.attribute(*rj).type) {
+      return EquiPair{*li, *rj};
+    }
+    return std::nullopt;
+  }
+  if (auto li = lhs.IndexOf(b)) {
+    auto rj = rhs.IndexOf(a);
+    if (rj && lhs.attribute(*li).type == rhs.attribute(*rj).type) {
+      return EquiPair{*li, *rj};
+    }
+  }
+  return std::nullopt;
+}
+
+Tuple KeyOf(const Tuple& t, const std::vector<size_t>& indices) {
+  std::vector<Value> values;
+  values.reserve(indices.size());
+  for (size_t i : indices) values.push_back(t.at(i));
+  return Tuple(std::move(values));
+}
+
+Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
+  std::vector<Value> values = a.values();
+  values.insert(values.end(), b.values().begin(), b.values().end());
+  return Tuple(std::move(values));
 }
 
 }  // namespace
@@ -39,25 +94,31 @@ Result<HistoricalState> Difference(const HistoricalState& lhs,
       remaining.push_back(HistoricalTuple{ht.tuple, std::move(survived)});
     }
   }
-  return HistoricalState::Make(lhs.schema(), std::move(remaining));
+  // Value tuples stay unique and in lhs order; empties were dropped.
+  return HistoricalState::FromCanonical(lhs.schema(), std::move(remaining));
 }
 
 Result<HistoricalState> Product(const HistoricalState& lhs,
                                 const HistoricalState& rhs) {
-  TTRA_ASSIGN_OR_RETURN(Schema schema, lhs.schema().Concat(rhs.schema()));
-  std::vector<HistoricalTuple> combined;
-  for (const HistoricalTuple& a : lhs.tuples()) {
-    for (const HistoricalTuple& b : rhs.tuples()) {
-      TemporalElement both = a.valid.Intersect(b.valid);
-      if (both.empty()) continue;
-      std::vector<Value> values = a.tuple.values();
-      values.insert(values.end(), b.tuple.values().begin(),
-                    b.tuple.values().end());
-      combined.push_back(
-          HistoricalTuple{Tuple(std::move(values)), std::move(both)});
+  if (Result<Schema> schema = lhs.schema().Concat(rhs.schema()); schema.ok()) {
+    std::vector<HistoricalTuple> combined;
+    for (const HistoricalTuple& a : lhs.tuples()) {
+      for (const HistoricalTuple& b : rhs.tuples()) {
+        TemporalElement both = a.valid.Intersect(b.valid);
+        if (both.empty()) continue;
+        combined.push_back(HistoricalTuple{ConcatTuples(a.tuple, b.tuple),
+                                           std::move(both)});
+      }
     }
+    // Concatenated value tuples of canonical operands, emitted lhs-major:
+    // unique and sorted, with empty elements already dropped.
+    return HistoricalState::FromCanonical(*std::move(schema),
+                                          std::move(combined));
+  } else {
+    return InvalidArgumentError(
+        "product requires attribute-name-disjoint schemas (rename first): " +
+        schema.status().message());
   }
-  return HistoricalState::Make(std::move(schema), std::move(combined));
 }
 
 Result<HistoricalState> Project(const HistoricalState& state,
@@ -87,7 +148,10 @@ Result<HistoricalState> Select(const HistoricalState& state,
     TTRA_ASSIGN_OR_RETURN(bool keep, predicate.Eval(state.schema(), ht.tuple));
     if (keep) selected.push_back(ht);
   }
-  return HistoricalState::Make(state.schema(), std::move(selected));
+  // A predicate that kept everything returns the input unchanged (states
+  // are copy-on-write); a kept subsequence is still canonical.
+  if (selected.size() == state.size()) return state;
+  return HistoricalState::FromCanonical(state.schema(), std::move(selected));
 }
 
 Result<HistoricalState> Delta(const HistoricalState& state,
@@ -100,7 +164,7 @@ Result<HistoricalState> Delta(const HistoricalState& state,
     if (projected.empty()) continue;
     result.push_back(HistoricalTuple{ht.tuple, std::move(projected)});
   }
-  return HistoricalState::Make(state.schema(), std::move(result));
+  return HistoricalState::FromCanonical(state.schema(), std::move(result));
 }
 
 Result<HistoricalState> Intersect(const HistoricalState& lhs,
@@ -113,12 +177,88 @@ Result<HistoricalState> Intersect(const HistoricalState& lhs,
       shared.push_back(HistoricalTuple{ht.tuple, std::move(both)});
     }
   }
-  return HistoricalState::Make(lhs.schema(), std::move(shared));
+  return HistoricalState::FromCanonical(lhs.schema(), std::move(shared));
+}
+
+Result<HistoricalState> ThetaJoin(const HistoricalState& lhs,
+                                  const HistoricalState& rhs,
+                                  const Predicate& predicate) {
+  Result<Schema> concat = lhs.schema().Concat(rhs.schema());
+  if (!concat.ok()) {
+    // Same report as Product, so σ̂_F(E1 ×̂ E2) and its fused form agree.
+    return InvalidArgumentError(
+        "product requires attribute-name-disjoint schemas (rename first): " +
+        concat.status().message());
+  }
+  Schema schema = *std::move(concat);
+  TTRA_RETURN_IF_ERROR(predicate.Validate(schema));
+
+  std::vector<Predicate> conjuncts;
+  CollectConjuncts(predicate, conjuncts);
+  std::vector<size_t> lhs_keys, rhs_keys;
+  Predicate residual = Predicate::True();
+  for (const Predicate& c : conjuncts) {
+    if (auto pair = AsEquiPair(c, lhs.schema(), rhs.schema())) {
+      lhs_keys.push_back(pair->lhs_index);
+      rhs_keys.push_back(pair->rhs_index);
+    } else if (!c.IsTrueLiteral()) {
+      residual = residual.IsTrueLiteral() ? c : Predicate::And(residual, c);
+    }
+  }
+  const bool check_residual = !residual.IsTrueLiteral();
+
+  std::vector<HistoricalTuple> joined;
+  auto emit = [&](const HistoricalTuple& a,
+                  const HistoricalTuple& b) -> Status {
+    TemporalElement both = a.valid.Intersect(b.valid);
+    if (both.empty()) return Status::Ok();
+    Tuple combined = ConcatTuples(a.tuple, b.tuple);
+    if (check_residual) {
+      TTRA_ASSIGN_OR_RETURN(bool keep, residual.Eval(schema, combined));
+      if (!keep) return Status::Ok();
+    }
+    joined.push_back(HistoricalTuple{std::move(combined), std::move(both)});
+    return Status::Ok();
+  };
+
+  if (lhs_keys.empty()) {
+    // No equality keys: evaluate the whole predicate per pair without
+    // materializing the product state.
+    for (const HistoricalTuple& a : lhs.tuples()) {
+      for (const HistoricalTuple& b : rhs.tuples()) {
+        TemporalElement both = a.valid.Intersect(b.valid);
+        if (both.empty()) continue;
+        Tuple combined = ConcatTuples(a.tuple, b.tuple);
+        TTRA_ASSIGN_OR_RETURN(bool keep, predicate.Eval(schema, combined));
+        if (!keep) continue;
+        joined.push_back(
+            HistoricalTuple{std::move(combined), std::move(both)});
+      }
+    }
+    return HistoricalState::FromCanonical(std::move(schema),
+                                          std::move(joined));
+  }
+
+  // Hash the rhs on the key attributes and probe lhs in order, which
+  // emits the result canonically (buckets preserve rhs sort order).
+  std::unordered_map<Tuple, std::vector<size_t>> buckets;
+  buckets.reserve(rhs.size());
+  for (size_t j = 0; j < rhs.size(); ++j) {
+    buckets[KeyOf(rhs.tuples()[j].tuple, rhs_keys)].push_back(j);
+  }
+  for (const HistoricalTuple& a : lhs.tuples()) {
+    auto it = buckets.find(KeyOf(a.tuple, lhs_keys));
+    if (it == buckets.end()) continue;
+    for (size_t j : it->second) {
+      TTRA_RETURN_IF_ERROR(emit(a, rhs.tuples()[j]));
+    }
+  }
+  return HistoricalState::FromCanonical(std::move(schema), std::move(joined));
 }
 
 Result<HistoricalState> NaturalJoin(const HistoricalState& lhs,
                                     const HistoricalState& rhs) {
-  std::vector<std::pair<size_t, size_t>> shared;
+  std::vector<size_t> lhs_keys, rhs_keys;
   std::vector<size_t> rhs_only;
   for (size_t j = 0; j < rhs.schema().size(); ++j) {
     const Attribute& attr = rhs.schema().attribute(j);
@@ -128,7 +268,8 @@ Result<HistoricalState> NaturalJoin(const HistoricalState& lhs,
         return SchemaMismatchError("natural join attribute '" + attr.name +
                                    "' has mismatched types");
       }
-      shared.emplace_back(*i, j);
+      lhs_keys.push_back(*i);
+      rhs_keys.push_back(j);
     } else {
       rhs_only.push_back(j);
     }
@@ -137,42 +278,58 @@ Result<HistoricalState> NaturalJoin(const HistoricalState& lhs,
   for (size_t j : rhs_only) result_attrs.push_back(rhs.schema().attribute(j));
   TTRA_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(result_attrs)));
 
+  auto emit = [&](const HistoricalTuple& a, const HistoricalTuple& b,
+                  std::vector<HistoricalTuple>& out) {
+    TemporalElement both = a.valid.Intersect(b.valid);
+    if (both.empty()) return;
+    std::vector<Value> values = a.tuple.values();
+    for (size_t j : rhs_only) values.push_back(b.tuple.at(j));
+    out.push_back(
+        HistoricalTuple{Tuple(std::move(values)), std::move(both)});
+  };
+
   std::vector<HistoricalTuple> joined;
-  for (const HistoricalTuple& a : lhs.tuples()) {
-    for (const HistoricalTuple& b : rhs.tuples()) {
-      bool match = true;
-      for (const auto& [i, j] : shared) {
-        if (!(a.tuple.at(i) == b.tuple.at(j))) {
-          match = false;
-          break;
-        }
-      }
-      if (!match) continue;
-      TemporalElement both = a.valid.Intersect(b.valid);
-      if (both.empty()) continue;
-      std::vector<Value> values = a.tuple.values();
-      for (size_t j : rhs_only) values.push_back(b.tuple.at(j));
-      joined.push_back(
-          HistoricalTuple{Tuple(std::move(values)), std::move(both)});
+  if (lhs_keys.empty()) {
+    for (const HistoricalTuple& a : lhs.tuples()) {
+      for (const HistoricalTuple& b : rhs.tuples()) emit(a, b, joined);
     }
+    return HistoricalState::FromCanonical(std::move(schema),
+                                          std::move(joined));
   }
-  return HistoricalState::Make(std::move(schema), std::move(joined));
+
+  // Hash path, probing lhs in order: bucket members agree on the shared
+  // columns, so their rhs-only projections stay sorted within a bucket and
+  // the output is canonical.
+  std::unordered_map<Tuple, std::vector<size_t>> buckets;
+  buckets.reserve(rhs.size());
+  for (size_t j = 0; j < rhs.size(); ++j) {
+    buckets[KeyOf(rhs.tuples()[j].tuple, rhs_keys)].push_back(j);
+  }
+  for (const HistoricalTuple& a : lhs.tuples()) {
+    auto it = buckets.find(KeyOf(a.tuple, lhs_keys));
+    if (it == buckets.end()) continue;
+    for (size_t j : it->second) emit(a, rhs.tuples()[j], joined);
+  }
+  return HistoricalState::FromCanonical(std::move(schema), std::move(joined));
 }
 
 Result<HistoricalState> Rename(const HistoricalState& state,
                                std::string_view from, std::string_view to) {
   TTRA_ASSIGN_OR_RETURN(Schema schema, state.schema().Rename(from, to));
-  return HistoricalState::Make(std::move(schema), state.tuples());
+  // Renaming changes no tuple, so canonical order is preserved.
+  return HistoricalState::FromCanonical(std::move(schema), state.tuples());
 }
 
 Result<HistoricalState> FromSnapshot(const SnapshotState& state,
                                      const TemporalElement& valid) {
+  if (valid.empty()) return HistoricalState::Empty(state.schema());
   std::vector<HistoricalTuple> tuples;
   tuples.reserve(state.size());
   for (const Tuple& t : state.tuples()) {
     tuples.push_back(HistoricalTuple{t, valid});
   }
-  return HistoricalState::Make(state.schema(), std::move(tuples));
+  // Snapshot tuples are sorted and unique; every element is `valid`.
+  return HistoricalState::FromCanonical(state.schema(), std::move(tuples));
 }
 
 }  // namespace ttra::historical_ops

@@ -54,6 +54,13 @@ Result<HistoricalState> Delta(const HistoricalState& state,
 Result<HistoricalState> Intersect(const HistoricalState& lhs,
                                   const HistoricalState& rhs);
 
+/// σ̂_F(E1 ×̂ E2) without materializing the product: equality conjuncts of
+/// F become hash-join keys, the rest is applied per candidate pair.
+/// Names must be disjoint; elements intersect as in ×̂.
+Result<HistoricalState> ThetaJoin(const HistoricalState& lhs,
+                                  const HistoricalState& rhs,
+                                  const Predicate& predicate);
+
 /// Equijoin on shared attribute names with element intersection.
 Result<HistoricalState> NaturalJoin(const HistoricalState& lhs,
                                     const HistoricalState& rhs);

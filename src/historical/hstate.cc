@@ -1,11 +1,18 @@
 #include "historical/hstate.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 
 #include "util/hash.h"
 
 namespace ttra {
+
+const std::shared_ptr<const HistoricalState::Rep>&
+HistoricalState::EmptyRep() {
+  static const std::shared_ptr<const Rep> kEmpty = std::make_shared<Rep>();
+  return kEmpty;
+}
 
 std::string HistoricalTuple::ToString() const {
   return tuple.ToString() + " @ " + valid.ToString();
@@ -37,42 +44,56 @@ Result<HistoricalState> HistoricalState::Make(
   return HistoricalState(std::move(schema), std::move(canonical));
 }
 
+HistoricalState HistoricalState::FromCanonical(
+    Schema schema, std::vector<HistoricalTuple> tuples) {
+#ifndef NDEBUG
+  assert(std::is_sorted(tuples.begin(), tuples.end()));
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    assert(!tuples[i].valid.empty());
+    assert(i == 0 || !(tuples[i - 1].tuple == tuples[i].tuple));
+    assert(tuples[i].tuple.ConformsTo(schema).ok());
+  }
+#endif
+  return HistoricalState(std::move(schema), std::move(tuples));
+}
+
 HistoricalState HistoricalState::Empty(Schema schema) {
   return HistoricalState(std::move(schema), {});
 }
 
 TemporalElement HistoricalState::ValidTimeOf(const Tuple& tuple) const {
   auto it = std::lower_bound(
-      tuples_.begin(), tuples_.end(), tuple,
+      rep_->tuples.begin(), rep_->tuples.end(), tuple,
       [](const HistoricalTuple& ht, const Tuple& t) { return ht.tuple < t; });
-  if (it != tuples_.end() && it->tuple == tuple) return it->valid;
+  if (it != rep_->tuples.end() && it->tuple == tuple) return it->valid;
   return TemporalElement();
 }
 
 SnapshotState HistoricalState::SnapshotAt(Chronon t) const {
   std::vector<Tuple> valid_now;
-  for (const HistoricalTuple& ht : tuples_) {
+  for (const HistoricalTuple& ht : rep_->tuples) {
     if (ht.valid.Contains(t)) valid_now.push_back(ht.tuple);
   }
-  // Tuples are unique and sorted already, so Make cannot fail (they
-  // conformed on construction).
-  return *SnapshotState::Make(schema_, std::move(valid_now));
+  // Tuples are unique and sorted already and conformed on construction.
+  return SnapshotState::FromCanonical(rep_->schema, std::move(valid_now));
 }
 
 std::string HistoricalState::ToString() const {
-  std::string out = schema_.ToString();
+  std::string out = rep_->schema.ToString();
   out += " {";
-  for (size_t i = 0; i < tuples_.size(); ++i) {
+  for (size_t i = 0; i < rep_->tuples.size(); ++i) {
     if (i > 0) out += ", ";
-    out += tuples_[i].ToString();
+    out += rep_->tuples[i].ToString();
   }
   out += "}";
   return out;
 }
 
 size_t HistoricalState::Hash() const {
-  size_t seed = schema_.Hash();
-  for (const HistoricalTuple& t : tuples_) seed = HashCombine(seed, t.Hash());
+  size_t seed = rep_->schema.Hash();
+  for (const HistoricalTuple& t : rep_->tuples) {
+    seed = HashCombine(seed, t.Hash());
+  }
   return seed;
 }
 

@@ -1,6 +1,7 @@
 #ifndef TTRA_HISTORICAL_HSTATE_H_
 #define TTRA_HISTORICAL_HSTATE_H_
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -37,6 +38,10 @@ std::ostream& operator<<(std::ostream& os, const HistoricalTuple& tuple);
 /// *homogeneous*: value tuples are unique (equal value tuples have their
 /// temporal elements merged) and no tuple has an empty element. This makes
 /// state equality structural, which the temporal storage layer relies on.
+///
+/// Like SnapshotState, historical states are immutable and copy-on-write:
+/// copies share one representation, so FINDSTATE reads and clones never
+/// deep-copy the tuple vector.
 class HistoricalState {
  public:
   HistoricalState() = default;
@@ -46,12 +51,18 @@ class HistoricalState {
   static Result<HistoricalState> Make(Schema schema,
                                       std::vector<HistoricalTuple> tuples);
 
+  /// Trusted constructor for operator kernels: `tuples` must already be
+  /// canonical (sorted, unique value tuples, no empty elements) and
+  /// conform to `schema`. Invariants are asserted in debug builds only.
+  static HistoricalState FromCanonical(Schema schema,
+                                       std::vector<HistoricalTuple> tuples);
+
   static HistoricalState Empty(Schema schema);
 
-  const Schema& schema() const { return schema_; }
-  const std::vector<HistoricalTuple>& tuples() const { return tuples_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  const Schema& schema() const { return rep_->schema; }
+  const std::vector<HistoricalTuple>& tuples() const { return rep_->tuples; }
+  size_t size() const { return rep_->tuples.size(); }
+  bool empty() const { return rep_->tuples.empty(); }
 
   /// The temporal element attached to `tuple`, or the empty element if the
   /// value tuple is absent.
@@ -66,15 +77,24 @@ class HistoricalState {
 
   size_t Hash() const;
 
-  friend bool operator==(const HistoricalState&,
-                         const HistoricalState&) = default;
+  friend bool operator==(const HistoricalState& a, const HistoricalState& b) {
+    return a.rep_ == b.rep_ || (a.rep_->schema == b.rep_->schema &&
+                                a.rep_->tuples == b.rep_->tuples);
+  }
 
  private:
-  HistoricalState(Schema schema, std::vector<HistoricalTuple> tuples)
-      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+  struct Rep {
+    Schema schema;
+    std::vector<HistoricalTuple> tuples;
+  };
 
-  Schema schema_;
-  std::vector<HistoricalTuple> tuples_;
+  static const std::shared_ptr<const Rep>& EmptyRep();
+
+  HistoricalState(Schema schema, std::vector<HistoricalTuple> tuples)
+      : rep_(std::make_shared<const Rep>(
+            Rep{std::move(schema), std::move(tuples)})) {}
+
+  std::shared_ptr<const Rep> rep_ = EmptyRep();
 };
 
 std::ostream& operator<<(std::ostream& os, const HistoricalState& state);

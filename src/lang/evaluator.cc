@@ -167,6 +167,34 @@ Result<StateValue> EvalExpr(const Expr& expr, const Database& db) {
       return StateValue(std::move(result).value());
     }
     case Expr::Kind::kSelect: {
+      // Fuse σ_F(E1 × E2) into a theta join: equality conjuncts of F
+      // become hash-join keys instead of filtering the materialized
+      // product. Semantics (including error cases) are unchanged.
+      if (expr.left().kind() == Expr::Kind::kBinary &&
+          expr.left().op() == BinaryOp::kTimes) {
+        const Expr& times = expr.left();
+        TTRA_ASSIGN_OR_RETURN(StateValue lhs, EvalExpr(times.left(), db));
+        TTRA_ASSIGN_OR_RETURN(StateValue rhs, EvalExpr(times.right(), db));
+        const bool lhs_hist = std::holds_alternative<HistoricalState>(lhs);
+        const bool rhs_hist = std::holds_alternative<HistoricalState>(rhs);
+        if (lhs_hist != rhs_hist) {
+          return TypeMismatchError(
+              std::string(BinaryOpName(times.op())) +
+              " mixes snapshot and historical operands");
+        }
+        if (!lhs_hist) {
+          auto result = snapshot_ops::ThetaJoin(std::get<SnapshotState>(lhs),
+                                                std::get<SnapshotState>(rhs),
+                                                expr.predicate());
+          if (!result.ok()) return result.status();
+          return StateValue(std::move(result).value());
+        }
+        auto result = historical_ops::ThetaJoin(
+            std::get<HistoricalState>(lhs), std::get<HistoricalState>(rhs),
+            expr.predicate());
+        if (!result.ok()) return result.status();
+        return StateValue(std::move(result).value());
+      }
       TTRA_ASSIGN_OR_RETURN(StateValue child, EvalExpr(expr.left(), db));
       if (std::holds_alternative<SnapshotState>(child)) {
         auto result = snapshot_ops::Select(std::get<SnapshotState>(child),

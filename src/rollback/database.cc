@@ -12,7 +12,8 @@ Status Database::DefineRelation(const std::string& name, RelationType type,
   relations_.emplace(name,
                      Relation::Make(type, std::move(schema), txn_ + 1,
                                     options_.storage,
-                                    options_.checkpoint_interval));
+                                    options_.checkpoint_interval,
+                                    options_.findstate_cache_capacity));
   ++txn_;
   return Status::Ok();
 }

@@ -14,6 +14,9 @@ namespace ttra {
 struct DatabaseOptions {
   StorageKind storage = StorageKind::kFullCopy;
   size_t checkpoint_interval = 16;
+  /// FINDSTATE reconstruction-cache capacity per relation log (0 disables
+  /// caching; see kDefaultFindStateCacheCapacity).
+  size_t findstate_cache_capacity = kDefaultFindStateCacheCapacity;
 };
 
 /// The paper's DATABASE semantic domain: a database state (identifier →

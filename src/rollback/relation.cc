@@ -36,15 +36,17 @@ bool RetainsHistory(RelationType type) {
 
 Relation Relation::Make(RelationType type, Schema schema,
                         TransactionNumber defined_at, StorageKind storage,
-                        size_t checkpoint_interval) {
+                        size_t checkpoint_interval, size_t cache_capacity) {
   Relation r;
   r.type_ = type;
   r.storage_ = storage;
   r.schema_history_.emplace_back(std::move(schema), defined_at);
   if (HoldsSnapshotStates(type)) {
-    r.slog_ = MakeStateLog<SnapshotState>(storage, checkpoint_interval);
+    r.slog_ = MakeStateLog<SnapshotState>(storage, checkpoint_interval,
+                                          cache_capacity);
   } else {
-    r.hlog_ = MakeStateLog<HistoricalState>(storage, checkpoint_interval);
+    r.hlog_ = MakeStateLog<HistoricalState>(storage, checkpoint_interval,
+                                            cache_capacity);
   }
   return r;
 }
@@ -96,8 +98,11 @@ Result<SnapshotState> Relation::SnapshotAt(TransactionNumber txn) const {
         "relation of type " + std::string(RelationTypeName(type_)) +
         " holds historical states, not snapshot states");
   }
-  std::optional<SnapshotState> state = slog_->StateAt(txn);
-  if (state.has_value()) return *std::move(state);
+  // States are copy-on-write, so dereferencing the shared pointer hands
+  // back an O(1) handle to the stored tuples — no materialization.
+  if (std::shared_ptr<const SnapshotState> state = slog_->StateAt(txn)) {
+    return *state;
+  }
   return SnapshotState::Empty(SchemaAt(txn));
 }
 
@@ -107,8 +112,9 @@ Result<HistoricalState> Relation::HistoricalAt(TransactionNumber txn) const {
         "relation of type " + std::string(RelationTypeName(type_)) +
         " holds snapshot states, not historical states");
   }
-  std::optional<HistoricalState> state = hlog_->StateAt(txn);
-  if (state.has_value()) return *std::move(state);
+  if (std::shared_ptr<const HistoricalState> state = hlog_->StateAt(txn)) {
+    return *state;
+  }
   return HistoricalState::Empty(SchemaAt(txn));
 }
 

@@ -45,7 +45,8 @@ class Relation {
   static Relation Make(RelationType type, Schema schema,
                        TransactionNumber defined_at,
                        StorageKind storage = StorageKind::kFullCopy,
-                       size_t checkpoint_interval = 16);
+                       size_t checkpoint_interval = 16,
+                       size_t cache_capacity = kDefaultFindStateCacheCapacity);
 
   RelationType type() const { return type_; }
 

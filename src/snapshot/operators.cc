@@ -21,6 +21,67 @@ Status RequireUnionCompatible(const SnapshotState& lhs,
   return Status::Ok();
 }
 
+// Concatenation of two tuples drawn from sorted-unique operands compares
+// lexicographically by the left part first (fixed arity), so emitting the
+// left operand in order with right-side candidates in order yields the
+// canonical (sorted, duplicate-free) form directly.
+Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
+  std::vector<Value> values = a.values();
+  values.insert(values.end(), b.values().begin(), b.values().end());
+  return Tuple(std::move(values));
+}
+
+// Splits a predicate into its top-level AND conjuncts.
+void CollectConjuncts(const Predicate& p, std::vector<Predicate>& out) {
+  if (p.kind() == Predicate::Kind::kAnd) {
+    CollectConjuncts(p.left(), out);
+    CollectConjuncts(p.right(), out);
+  } else {
+    out.push_back(p);
+  }
+}
+
+// An attr = attr conjunct usable as a hash-join key: one side resolves in
+// the left scheme, the other in the right scheme, with identical types
+// (mixed int/double equality must stay in the residual — it compares
+// equal across types but hashes differently).
+struct EquiPair {
+  size_t lhs_index;
+  size_t rhs_index;
+};
+
+std::optional<EquiPair> AsEquiPair(const Predicate& p, const Schema& lhs,
+                                   const Schema& rhs) {
+  if (p.kind() != Predicate::Kind::kComparison || p.op() != CompareOp::kEq ||
+      !p.lhs().is_attr() || !p.rhs().is_attr()) {
+    return std::nullopt;
+  }
+  const std::string& a = p.lhs().attr_name();
+  const std::string& b = p.rhs().attr_name();
+  // Product schemes are name-disjoint, so each name resolves on one side.
+  if (auto li = lhs.IndexOf(a)) {
+    auto rj = rhs.IndexOf(b);
+    if (rj && lhs.attribute(*li).type == rhs.attribute(*rj).type) {
+      return EquiPair{*li, *rj};
+    }
+    return std::nullopt;
+  }
+  if (auto li = lhs.IndexOf(b)) {
+    auto rj = rhs.IndexOf(a);
+    if (rj && lhs.attribute(*li).type == rhs.attribute(*rj).type) {
+      return EquiPair{*li, *rj};
+    }
+  }
+  return std::nullopt;
+}
+
+Tuple KeyOf(const Tuple& t, const std::vector<size_t>& indices) {
+  std::vector<Value> values;
+  values.reserve(indices.size());
+  for (size_t i : indices) values.push_back(t.at(i));
+  return Tuple(std::move(values));
+}
+
 }  // namespace
 
 Result<SnapshotState> Union(const SnapshotState& lhs,
@@ -31,7 +92,7 @@ Result<SnapshotState> Union(const SnapshotState& lhs,
   std::merge(lhs.tuples().begin(), lhs.tuples().end(), rhs.tuples().begin(),
              rhs.tuples().end(), std::back_inserter(merged));
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-  return SnapshotState::Make(lhs.schema(), std::move(merged));
+  return SnapshotState::FromCanonical(lhs.schema(), std::move(merged));
 }
 
 Result<SnapshotState> Difference(const SnapshotState& lhs,
@@ -41,22 +102,33 @@ Result<SnapshotState> Difference(const SnapshotState& lhs,
   std::set_difference(lhs.tuples().begin(), lhs.tuples().end(),
                       rhs.tuples().begin(), rhs.tuples().end(),
                       std::back_inserter(remaining));
-  return SnapshotState::Make(lhs.schema(), std::move(remaining));
+  return SnapshotState::FromCanonical(lhs.schema(), std::move(remaining));
 }
 
 Result<SnapshotState> Product(const SnapshotState& lhs,
                               const SnapshotState& rhs) {
-  TTRA_ASSIGN_OR_RETURN(Schema schema, lhs.schema().Concat(rhs.schema()));
-  std::vector<Tuple> combined;
-  combined.reserve(lhs.size() * rhs.size());
-  for (const Tuple& a : lhs.tuples()) {
-    for (const Tuple& b : rhs.tuples()) {
-      std::vector<Value> values = a.values();
-      values.insert(values.end(), b.values().begin(), b.values().end());
-      combined.emplace_back(std::move(values));
+  if (Result<Schema> schema = lhs.schema().Concat(rhs.schema()); schema.ok()) {
+    std::vector<Tuple> combined;
+    // Guard the n*m reservation: the multiplication can overflow size_t,
+    // and even when it does not, a huge product should grow organically
+    // instead of failing up front on one giant allocation.
+    const size_t n = lhs.size(), m = rhs.size();
+    constexpr size_t kReserveCap = size_t{1} << 22;
+    if (m != 0 && n <= kReserveCap / m) {
+      combined.reserve(n * m);
     }
+    for (const Tuple& a : lhs.tuples()) {
+      for (const Tuple& b : rhs.tuples()) {
+        combined.push_back(ConcatTuples(a, b));
+      }
+    }
+    return SnapshotState::FromCanonical(*std::move(schema),
+                                        std::move(combined));
+  } else {
+    return InvalidArgumentError(
+        "product requires attribute-name-disjoint schemas (rename first): " +
+        schema.status().message());
   }
-  return SnapshotState::Make(std::move(schema), std::move(combined));
 }
 
 Result<SnapshotState> Project(const SnapshotState& state,
@@ -86,7 +158,11 @@ Result<SnapshotState> Select(const SnapshotState& state,
     TTRA_ASSIGN_OR_RETURN(bool keep, predicate.Eval(state.schema(), tuple));
     if (keep) selected.push_back(tuple);
   }
-  return SnapshotState::Make(state.schema(), std::move(selected));
+  // A predicate that kept everything returns the input unchanged — states
+  // are copy-on-write, so this shares the representation.
+  if (selected.size() == state.size()) return state;
+  // A subsequence of a canonical tuple vector is canonical.
+  return SnapshotState::FromCanonical(state.schema(), std::move(selected));
 }
 
 Result<SnapshotState> Intersect(const SnapshotState& lhs,
@@ -96,21 +172,104 @@ Result<SnapshotState> Intersect(const SnapshotState& lhs,
   std::set_intersection(lhs.tuples().begin(), lhs.tuples().end(),
                         rhs.tuples().begin(), rhs.tuples().end(),
                         std::back_inserter(shared));
-  return SnapshotState::Make(lhs.schema(), std::move(shared));
+  return SnapshotState::FromCanonical(lhs.schema(), std::move(shared));
 }
 
 Result<SnapshotState> ThetaJoin(const SnapshotState& lhs,
                                 const SnapshotState& rhs,
                                 const Predicate& predicate) {
-  TTRA_ASSIGN_OR_RETURN(SnapshotState product, Product(lhs, rhs));
-  return Select(product, predicate);
+  Result<Schema> concat = lhs.schema().Concat(rhs.schema());
+  if (!concat.ok()) {
+    // Same report as Product, so σ_F(E1 × E2) and its fused form agree.
+    return InvalidArgumentError(
+        "product requires attribute-name-disjoint schemas (rename first): " +
+        concat.status().message());
+  }
+  Schema schema = *std::move(concat);
+  TTRA_RETURN_IF_ERROR(predicate.Validate(schema));
+
+  // Split the predicate into hash-join keys (top-level attr = attr
+  // conjuncts across the operands) and a residual applied per candidate.
+  std::vector<Predicate> conjuncts;
+  CollectConjuncts(predicate, conjuncts);
+  std::vector<size_t> lhs_keys, rhs_keys;
+  Predicate residual = Predicate::True();
+  for (const Predicate& c : conjuncts) {
+    if (auto pair = AsEquiPair(c, lhs.schema(), rhs.schema())) {
+      lhs_keys.push_back(pair->lhs_index);
+      rhs_keys.push_back(pair->rhs_index);
+    } else if (!c.IsTrueLiteral()) {
+      residual = residual.IsTrueLiteral() ? c : Predicate::And(residual, c);
+    }
+  }
+  const bool check_residual = !residual.IsTrueLiteral();
+
+  std::vector<Tuple> joined;
+  if (lhs_keys.empty()) {
+    // No equality keys: block nested loop over the operands, evaluating
+    // the predicate per pair without materializing the product state.
+    for (const Tuple& a : lhs.tuples()) {
+      for (const Tuple& b : rhs.tuples()) {
+        Tuple combined = ConcatTuples(a, b);
+        TTRA_ASSIGN_OR_RETURN(bool keep, predicate.Eval(schema, combined));
+        if (keep) joined.push_back(std::move(combined));
+      }
+    }
+    return SnapshotState::FromCanonical(std::move(schema), std::move(joined));
+  }
+
+  if (rhs.size() <= lhs.size()) {
+    // Build on rhs, probe lhs in order: buckets hold rhs candidates in
+    // sorted order, so the output is emitted canonically.
+    std::unordered_map<Tuple, std::vector<size_t>> buckets;
+    buckets.reserve(rhs.size());
+    for (size_t j = 0; j < rhs.size(); ++j) {
+      buckets[KeyOf(rhs.tuples()[j], rhs_keys)].push_back(j);
+    }
+    for (const Tuple& a : lhs.tuples()) {
+      auto it = buckets.find(KeyOf(a, lhs_keys));
+      if (it == buckets.end()) continue;
+      for (size_t j : it->second) {
+        Tuple combined = ConcatTuples(a, rhs.tuples()[j]);
+        if (check_residual) {
+          TTRA_ASSIGN_OR_RETURN(bool keep, residual.Eval(schema, combined));
+          if (!keep) continue;
+        }
+        joined.push_back(std::move(combined));
+      }
+    }
+    return SnapshotState::FromCanonical(std::move(schema), std::move(joined));
+  }
+
+  // lhs is smaller: build on it and probe rhs. Probing out of lhs order
+  // scrambles the output, so restore canonical order with one sort of the
+  // (unique) result — still O(result), never O(product).
+  std::unordered_map<Tuple, std::vector<size_t>> buckets;
+  buckets.reserve(lhs.size());
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    buckets[KeyOf(lhs.tuples()[i], lhs_keys)].push_back(i);
+  }
+  for (const Tuple& b : rhs.tuples()) {
+    auto it = buckets.find(KeyOf(b, rhs_keys));
+    if (it == buckets.end()) continue;
+    for (size_t i : it->second) {
+      Tuple combined = ConcatTuples(lhs.tuples()[i], b);
+      if (check_residual) {
+        TTRA_ASSIGN_OR_RETURN(bool keep, residual.Eval(schema, combined));
+        if (!keep) continue;
+      }
+      joined.push_back(std::move(combined));
+    }
+  }
+  std::sort(joined.begin(), joined.end());
+  return SnapshotState::FromCanonical(std::move(schema), std::move(joined));
 }
 
 Result<SnapshotState> NaturalJoin(const SnapshotState& lhs,
                                   const SnapshotState& rhs) {
   // Shared attributes join positionally by name; result schema is lhs's
   // schema followed by rhs's non-shared attributes, as in Maier.
-  std::vector<std::pair<size_t, size_t>> shared;  // (lhs index, rhs index)
+  std::vector<size_t> lhs_keys, rhs_keys;
   std::vector<size_t> rhs_only;
   for (size_t j = 0; j < rhs.schema().size(); ++j) {
     const Attribute& attr = rhs.schema().attribute(j);
@@ -120,7 +279,8 @@ Result<SnapshotState> NaturalJoin(const SnapshotState& lhs,
         return SchemaMismatchError("natural join attribute '" + attr.name +
                                    "' has mismatched types");
       }
-      shared.emplace_back(*i, j);
+      lhs_keys.push_back(*i);
+      rhs_keys.push_back(j);
     } else {
       rhs_only.push_back(j);
     }
@@ -129,29 +289,43 @@ Result<SnapshotState> NaturalJoin(const SnapshotState& lhs,
   for (size_t j : rhs_only) result_attrs.push_back(rhs.schema().attribute(j));
   TTRA_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(result_attrs)));
 
+  auto emit = [&](const Tuple& a, const Tuple& b, std::vector<Tuple>& out) {
+    std::vector<Value> values = a.values();
+    for (size_t j : rhs_only) values.push_back(b.at(j));
+    out.emplace_back(std::move(values));
+  };
+
   std::vector<Tuple> joined;
-  for (const Tuple& a : lhs.tuples()) {
-    for (const Tuple& b : rhs.tuples()) {
-      bool match = true;
-      for (const auto& [i, j] : shared) {
-        if (!(a.at(i) == b.at(j))) {
-          match = false;
-          break;
-        }
-      }
-      if (!match) continue;
-      std::vector<Value> values = a.values();
-      for (size_t j : rhs_only) values.push_back(b.at(j));
-      joined.emplace_back(std::move(values));
+  if (lhs_keys.empty()) {
+    // Disjoint schemes: degenerates to the product.
+    for (const Tuple& a : lhs.tuples()) {
+      for (const Tuple& b : rhs.tuples()) emit(a, b, joined);
     }
+    return SnapshotState::FromCanonical(std::move(schema), std::move(joined));
   }
-  return SnapshotState::Make(std::move(schema), std::move(joined));
+
+  // Hash the rhs on the shared attributes and probe lhs in order. Bucket
+  // members agree on every shared column, so within a bucket the rhs sort
+  // order equals the order of their rhs-only projections — the output is
+  // emitted canonically.
+  std::unordered_map<Tuple, std::vector<size_t>> buckets;
+  buckets.reserve(rhs.size());
+  for (size_t j = 0; j < rhs.size(); ++j) {
+    buckets[KeyOf(rhs.tuples()[j], rhs_keys)].push_back(j);
+  }
+  for (const Tuple& a : lhs.tuples()) {
+    auto it = buckets.find(KeyOf(a, lhs_keys));
+    if (it == buckets.end()) continue;
+    for (size_t j : it->second) emit(a, rhs.tuples()[j], joined);
+  }
+  return SnapshotState::FromCanonical(std::move(schema), std::move(joined));
 }
 
 Result<SnapshotState> Rename(const SnapshotState& state, std::string_view from,
                              std::string_view to) {
   TTRA_ASSIGN_OR_RETURN(Schema schema, state.schema().Rename(from, to));
-  return SnapshotState::Make(std::move(schema), state.tuples());
+  // Renaming changes no tuple, so canonical order is preserved.
+  return SnapshotState::FromCanonical(std::move(schema), state.tuples());
 }
 
 }  // namespace ttra::snapshot_ops

@@ -1,10 +1,16 @@
 #include "snapshot/state.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/hash.h"
 
 namespace ttra {
+
+const std::shared_ptr<const SnapshotState::Rep>& SnapshotState::EmptyRep() {
+  static const std::shared_ptr<const Rep> kEmpty = std::make_shared<Rep>();
+  return kEmpty;
+}
 
 Result<SnapshotState> SnapshotState::Make(Schema schema,
                                           std::vector<Tuple> tuples) {
@@ -16,28 +22,38 @@ Result<SnapshotState> SnapshotState::Make(Schema schema,
   return SnapshotState(std::move(schema), std::move(tuples));
 }
 
+SnapshotState SnapshotState::FromCanonical(Schema schema,
+                                           std::vector<Tuple> tuples) {
+#ifndef NDEBUG
+  assert(std::is_sorted(tuples.begin(), tuples.end()));
+  assert(std::adjacent_find(tuples.begin(), tuples.end()) == tuples.end());
+  for (const Tuple& tuple : tuples) assert(tuple.ConformsTo(schema).ok());
+#endif
+  return SnapshotState(std::move(schema), std::move(tuples));
+}
+
 SnapshotState SnapshotState::Empty(Schema schema) {
   return SnapshotState(std::move(schema), {});
 }
 
 bool SnapshotState::Contains(const Tuple& tuple) const {
-  return std::binary_search(tuples_.begin(), tuples_.end(), tuple);
+  return std::binary_search(rep_->tuples.begin(), rep_->tuples.end(), tuple);
 }
 
 std::string SnapshotState::ToString() const {
-  std::string out = schema_.ToString();
+  std::string out = rep_->schema.ToString();
   out += " {";
-  for (size_t i = 0; i < tuples_.size(); ++i) {
+  for (size_t i = 0; i < rep_->tuples.size(); ++i) {
     if (i > 0) out += ", ";
-    out += tuples_[i].ToString();
+    out += rep_->tuples[i].ToString();
   }
   out += "}";
   return out;
 }
 
 size_t SnapshotState::Hash() const {
-  size_t seed = schema_.Hash();
-  for (const Tuple& t : tuples_) seed = HashCombine(seed, t.Hash());
+  size_t seed = rep_->schema.Hash();
+  for (const Tuple& t : rep_->tuples) seed = HashCombine(seed, t.Hash());
   return seed;
 }
 

@@ -1,6 +1,7 @@
 #ifndef TTRA_SNAPSHOT_STATE_H_
 #define TTRA_SNAPSHOT_STATE_H_
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -18,6 +19,11 @@ namespace ttra {
 /// state equality a linear scan. Canonical equality is load-bearing: the
 /// delta storage engine diffs states, FINDSTATE tests compare against
 /// oracles, and the property suites assert algebraic identities.
+///
+/// States are immutable and copy-on-write: the scheme and tuple vector
+/// live in a shared representation, so copying a state (operator results,
+/// FINDSTATE reads, Relation/Database clones) is a reference-count bump,
+/// never a deep copy of the tuple vector.
 class SnapshotState {
  public:
   /// The empty state over the empty scheme (what FINDSTATE yields for a
@@ -27,14 +33,20 @@ class SnapshotState {
   /// Canonicalizes and validates: every tuple must conform to `schema`.
   static Result<SnapshotState> Make(Schema schema, std::vector<Tuple> tuples);
 
+  /// Trusted constructor for operator kernels: `tuples` must already be in
+  /// canonical form (sorted, deduplicated) and conform to `schema`. Skips
+  /// the O(n log n) re-sort and the per-tuple validation of Make; the
+  /// invariants are asserted in debug builds.
+  static SnapshotState FromCanonical(Schema schema, std::vector<Tuple> tuples);
+
   /// The empty state over `schema`.
   static SnapshotState Empty(Schema schema);
 
-  const Schema& schema() const { return schema_; }
+  const Schema& schema() const { return rep_->schema; }
   /// Tuples in canonical (sorted) order, no duplicates.
-  const std::vector<Tuple>& tuples() const { return tuples_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return rep_->tuples; }
+  size_t size() const { return rep_->tuples.size(); }
+  bool empty() const { return rep_->tuples.empty(); }
 
   bool Contains(const Tuple& tuple) const;
 
@@ -43,14 +55,25 @@ class SnapshotState {
 
   size_t Hash() const;
 
-  friend bool operator==(const SnapshotState&, const SnapshotState&) = default;
+  friend bool operator==(const SnapshotState& a, const SnapshotState& b) {
+    return a.rep_ == b.rep_ || (a.rep_->schema == b.rep_->schema &&
+                                a.rep_->tuples == b.rep_->tuples);
+  }
 
  private:
-  SnapshotState(Schema schema, std::vector<Tuple> tuples)
-      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+  struct Rep {
+    Schema schema;
+    std::vector<Tuple> tuples;
+  };
 
-  Schema schema_;
-  std::vector<Tuple> tuples_;
+  /// Shared representation of the default (empty-scheme) state.
+  static const std::shared_ptr<const Rep>& EmptyRep();
+
+  SnapshotState(Schema schema, std::vector<Tuple> tuples)
+      : rep_(std::make_shared<const Rep>(
+            Rep{std::move(schema), std::move(tuples)})) {}
+
+  std::shared_ptr<const Rep> rep_ = EmptyRep();
 };
 
 std::ostream& operator<<(std::ostream& os, const SnapshotState& state);

@@ -3,13 +3,121 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
+#include <optional>
+#include <utility>
 
 #include "storage/state_log.h"
 
 namespace ttra {
 
+/// Small thread-safe LRU of reconstructed states, keyed by entry index.
+/// The replay-based engines (delta/checkpoint/reverse-delta) consult it so
+/// repeated FINDSTATE reads of the same or nearby transactions skip the
+/// replay; readers may probe one log concurrently (SerialExecutor holds
+/// only a shared lock), hence the internal mutex. Cached states are
+/// immutable and shared, so Clone copies the cache by reference.
+/// A capacity of 0 disables caching entirely.
+template <typename StateT>
+class FindStateCache {
+ public:
+  explicit FindStateCache(size_t capacity) : capacity_(capacity) {}
+
+  FindStateCache(const FindStateCache& other) : capacity_(other.capacity_) {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    slots_ = other.slots_;
+    clock_ = other.clock_;
+  }
+  FindStateCache& operator=(const FindStateCache&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// The cached state for exactly `index`, or nullptr.
+  std::shared_ptr<const StateT> Get(size_t index) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Slot& slot : slots_) {
+      if (slot.index == index) {
+        slot.stamp = ++clock_;
+        return slot.state;
+      }
+    }
+    return nullptr;
+  }
+
+  /// The cached entry with the greatest index <= `index` (replay seed for
+  /// forward-delta engines), or nullopt.
+  std::optional<std::pair<size_t, std::shared_ptr<const StateT>>> Floor(
+      size_t index) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot* best = nullptr;
+    for (Slot& slot : slots_) {
+      if (slot.index <= index && (best == nullptr || slot.index > best->index)) {
+        best = &slot;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    best->stamp = ++clock_;
+    return std::make_pair(best->index, best->state);
+  }
+
+  /// The cached entry with the least index >= `index` (replay seed for the
+  /// backward-walking reverse-delta engine), or nullopt.
+  std::optional<std::pair<size_t, std::shared_ptr<const StateT>>> Ceil(
+      size_t index) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot* best = nullptr;
+    for (Slot& slot : slots_) {
+      if (slot.index >= index && (best == nullptr || slot.index < best->index)) {
+        best = &slot;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    best->stamp = ++clock_;
+    return std::make_pair(best->index, best->state);
+  }
+
+  void Put(size_t index, std::shared_ptr<const StateT> state) const {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot* victim = nullptr;
+    for (Slot& slot : slots_) {
+      if (slot.index == index) {
+        slot.state = std::move(state);
+        slot.stamp = ++clock_;
+        return;
+      }
+      if (victim == nullptr || slot.stamp < victim->stamp) victim = &slot;
+    }
+    if (slots_.size() < capacity_) {
+      slots_.push_back(Slot{index, std::move(state), ++clock_});
+      return;
+    }
+    *victim = Slot{index, std::move(state), ++clock_};
+  }
+
+  /// Invalidates everything (called on Append/ReplaceLast and by vacuum's
+  /// rebuild, which starts from a fresh log anyway).
+  void Clear() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_.clear();
+  }
+
+ private:
+  struct Slot {
+    size_t index = 0;
+    std::shared_ptr<const StateT> state;
+    uint64_t stamp = 0;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Slot> slots_;
+  mutable uint64_t clock_ = 0;
+};
+
 /// Direct realization of the paper's semantics: every (state, txn) pair is
-/// stored in full. Fast FINDSTATE, O(history × state) space.
+/// stored in full. Entries are shared immutable states, so FINDSTATE and
+/// Clone are allocation-free — O(1) and O(history) pointer copies.
 template <typename StateT>
 class FullCopyLog final : public StateLog<StateT> {
  public:
@@ -17,21 +125,21 @@ class FullCopyLog final : public StateLog<StateT> {
     if (!entries_.empty() && txn <= entries_.back().second) {
       return InternalError("non-increasing transaction number in Append");
     }
-    entries_.emplace_back(state, txn);
+    entries_.emplace_back(std::make_shared<const StateT>(state), txn);
     return Status::Ok();
   }
 
   Status ReplaceLast(const StateT& state, TransactionNumber txn) override {
     entries_.clear();
-    entries_.emplace_back(state, txn);
+    entries_.emplace_back(std::make_shared<const StateT>(state), txn);
     return Status::Ok();
   }
 
-  std::optional<StateT> StateAt(TransactionNumber txn) const override {
+  std::shared_ptr<const StateT> StateAt(TransactionNumber txn) const override {
     auto it = std::upper_bound(
         entries_.begin(), entries_.end(), txn,
         [](TransactionNumber t, const auto& e) { return t < e.second; });
-    if (it == entries_.begin()) return std::nullopt;
+    if (it == entries_.begin()) return nullptr;
     return std::prev(it)->first;
   }
 
@@ -44,7 +152,7 @@ class FullCopyLog final : public StateLog<StateT> {
   size_t ApproxBytes() const override {
     size_t total = 0;
     for (const auto& [state, txn] : entries_) {
-      total += ApproxSize(state) + sizeof(TransactionNumber);
+      total += ApproxSize(*state) + sizeof(TransactionNumber);
     }
     return total;
   }
@@ -56,16 +164,21 @@ class FullCopyLog final : public StateLog<StateT> {
   }
 
  private:
-  std::vector<std::pair<StateT, TransactionNumber>> entries_;
+  std::vector<std::pair<std::shared_ptr<const StateT>, TransactionNumber>>
+      entries_;
 };
 
 /// Differential ("backlog") engine: each entry stores the rows added and
 /// removed relative to the previous state. FINDSTATE replays from the
-/// start; space is proportional to change volume, not state size.
+/// nearest cached reconstruction (or the start); the tail state is kept
+/// shared so ρ(R, ∞) is O(1). Space is proportional to change volume.
 template <typename StateT>
 class DeltaLog final : public StateLog<StateT> {
  public:
   using Row = typename StateTraits<StateT>::Row;
+
+  explicit DeltaLog(size_t cache_capacity = kDefaultFindStateCacheCapacity)
+      : cache_(cache_capacity) {}
 
   Status Append(const StateT& state, TransactionNumber txn) override {
     if (!entries_.empty() && txn <= entries_.back().txn) {
@@ -77,37 +190,52 @@ class DeltaLog final : public StateLog<StateT> {
     const std::vector<Row>& new_rows = StateTraits<StateT>::Rows(state);
     if (!entries_.empty() && entries_.back().schema != state.schema()) {
       // Scheme change: rebase with a full snapshot of the new rows.
-      entry.removed = tail_rows_;
+      entry.removed = StateTraits<StateT>::Rows(*tail_state_);
       entry.added = new_rows;
     } else {
-      std::set_difference(new_rows.begin(), new_rows.end(),
-                          tail_rows_.begin(), tail_rows_.end(),
-                          std::back_inserter(entry.added));
-      std::set_difference(tail_rows_.begin(), tail_rows_.end(),
-                          new_rows.begin(), new_rows.end(),
-                          std::back_inserter(entry.removed));
+      const std::vector<Row> no_rows;
+      const std::vector<Row>& old_rows =
+          tail_state_ ? StateTraits<StateT>::Rows(*tail_state_) : no_rows;
+      std::set_difference(new_rows.begin(), new_rows.end(), old_rows.begin(),
+                          old_rows.end(), std::back_inserter(entry.added));
+      std::set_difference(old_rows.begin(), old_rows.end(), new_rows.begin(),
+                          new_rows.end(), std::back_inserter(entry.removed));
     }
-    tail_rows_ = new_rows;
+    tail_state_ = std::make_shared<const StateT>(state);
     entries_.push_back(std::move(entry));
+    cache_.Clear();
     return Status::Ok();
   }
 
   Status ReplaceLast(const StateT& state, TransactionNumber txn) override {
     entries_.clear();
-    tail_rows_.clear();
+    tail_state_.reset();
+    cache_.Clear();
     return Append(state, txn);
   }
 
-  std::optional<StateT> StateAt(TransactionNumber txn) const override {
+  std::shared_ptr<const StateT> StateAt(TransactionNumber txn) const override {
     auto it = std::upper_bound(
         entries_.begin(), entries_.end(), txn,
         [](TransactionNumber t, const Entry& e) { return t < e.txn; });
-    if (it == entries_.begin()) return std::nullopt;
+    if (it == entries_.begin()) return nullptr;
     const size_t last = static_cast<size_t>(it - entries_.begin()) - 1;
+    if (last + 1 == entries_.size()) return tail_state_;
+    if (auto cached = cache_.Get(last)) return cached;
+    // Seed the replay from the nearest cached reconstruction at or before
+    // `last` (only if its scheme epoch matches — a rebase entry in between
+    // resets the rows anyway, so any seed is safe to replay through).
+    size_t start = 0;
     std::vector<Row> rows;
-    for (size_t i = 0; i <= last; ++i) ApplyEntry(entries_[i], rows);
-    return StateTraits<StateT>::FromRows(entries_[last].schema,
-                                         std::move(rows));
+    if (auto seed = cache_.Floor(last)) {
+      start = seed->first + 1;
+      rows = StateTraits<StateT>::Rows(*seed->second);
+    }
+    for (size_t i = start; i <= last; ++i) ApplyEntry(entries_[i], rows);
+    auto state = std::make_shared<const StateT>(
+        StateTraits<StateT>::FromRows(entries_[last].schema, std::move(rows)));
+    cache_.Put(last, state);
+    return state;
   }
 
   size_t size() const override { return entries_.size(); }
@@ -156,19 +284,24 @@ class DeltaLog final : public StateLog<StateT> {
   }
 
   std::vector<Entry> entries_;
-  std::vector<Row> tail_rows_;  // rows of the most recent state
+  std::shared_ptr<const StateT> tail_state_;  // most recent state, shared
+  FindStateCache<StateT> cache_;
 };
 
 /// Delta engine with periodic full checkpoints: every `interval`-th entry
 /// stores the complete state, bounding FINDSTATE replay to `interval`
 /// entries — the classic space/time dial between kFullCopy (interval 1)
-/// and kDelta (interval ∞).
+/// and kDelta (interval ∞). Checkpoint entries are shared immutable
+/// states, so appending a checkpoint and serving one are O(1) copies.
 template <typename StateT>
 class CheckpointLog final : public StateLog<StateT> {
  public:
   using Row = typename StateTraits<StateT>::Row;
 
-  explicit CheckpointLog(size_t interval) : interval_(interval < 1 ? 1 : interval) {}
+  explicit CheckpointLog(
+      size_t interval,
+      size_t cache_capacity = kDefaultFindStateCacheCapacity)
+      : interval_(interval < 1 ? 1 : interval), cache_(cache_capacity) {}
 
   Status Append(const StateT& state, TransactionNumber txn) override {
     if (!entries_.empty() && txn <= entries_.back().txn) {
@@ -177,53 +310,63 @@ class CheckpointLog final : public StateLog<StateT> {
     Entry entry;
     entry.txn = txn;
     entry.schema = state.schema();
-    const std::vector<Row>& new_rows = StateTraits<StateT>::Rows(state);
+    auto shared = std::make_shared<const StateT>(state);
     const bool checkpoint =
         entries_.empty() || entries_.size() % interval_ == 0 ||
         entries_.back().schema != state.schema();
     if (checkpoint) {
-      entry.is_checkpoint = true;
-      entry.added = new_rows;
+      entry.full = shared;
     } else {
-      std::set_difference(new_rows.begin(), new_rows.end(),
-                          tail_rows_.begin(), tail_rows_.end(),
-                          std::back_inserter(entry.added));
-      std::set_difference(tail_rows_.begin(), tail_rows_.end(),
-                          new_rows.begin(), new_rows.end(),
-                          std::back_inserter(entry.removed));
+      const std::vector<Row>& new_rows = StateTraits<StateT>::Rows(state);
+      const std::vector<Row>& old_rows = StateTraits<StateT>::Rows(*tail_state_);
+      std::set_difference(new_rows.begin(), new_rows.end(), old_rows.begin(),
+                          old_rows.end(), std::back_inserter(entry.added));
+      std::set_difference(old_rows.begin(), old_rows.end(), new_rows.begin(),
+                          new_rows.end(), std::back_inserter(entry.removed));
     }
-    tail_rows_ = new_rows;
+    tail_state_ = std::move(shared);
     entries_.push_back(std::move(entry));
+    cache_.Clear();
     return Status::Ok();
   }
 
   Status ReplaceLast(const StateT& state, TransactionNumber txn) override {
     entries_.clear();
-    tail_rows_.clear();
+    tail_state_.reset();
+    cache_.Clear();
     return Append(state, txn);
   }
 
-  std::optional<StateT> StateAt(TransactionNumber txn) const override {
+  std::shared_ptr<const StateT> StateAt(TransactionNumber txn) const override {
     auto it = std::upper_bound(
         entries_.begin(), entries_.end(), txn,
         [](TransactionNumber t, const Entry& e) { return t < e.txn; });
-    if (it == entries_.begin()) return std::nullopt;
+    if (it == entries_.begin()) return nullptr;
     const size_t last = static_cast<size_t>(it - entries_.begin()) - 1;
+    if (last + 1 == entries_.size()) return tail_state_;
+    if (entries_[last].full != nullptr) return entries_[last].full;
+    if (auto cached = cache_.Get(last)) return cached;
     size_t start = last;
-    while (!entries_[start].is_checkpoint) {
+    while (entries_[start].full == nullptr) {
       assert(start > 0);
       --start;
     }
+    // Prefer a cached reconstruction inside the same checkpoint segment
+    // over replaying from the checkpoint itself.
     std::vector<Row> rows;
-    for (size_t i = start; i <= last; ++i) {
-      if (entries_[i].is_checkpoint) {
-        rows = entries_[i].added;
-      } else {
-        ApplyDelta(entries_[i], rows);
-      }
+    size_t next = start;
+    if (auto seed = cache_.Floor(last); seed && seed->first > start) {
+      rows = StateTraits<StateT>::Rows(*seed->second);
+      next = seed->first + 1;
+    } else {
+      rows = StateTraits<StateT>::Rows(*entries_[start].full);
+      next = start + 1;
     }
-    return StateTraits<StateT>::FromRows(entries_[last].schema,
-                                         std::move(rows));
+    for (size_t i = next; i <= last; ++i) ApplyDelta(entries_[i], rows);
+    auto state = std::make_shared<const StateT>(
+        StateTraits<StateT>::FromRows(entries_[last].schema, std::move(rows)));
+    cache_.Put(last, state);
+    return state;
   }
 
   size_t size() const override { return entries_.size(); }
@@ -234,6 +377,7 @@ class CheckpointLog final : public StateLog<StateT> {
     size_t total = 0;
     for (const Entry& e : entries_) {
       total += sizeof(TransactionNumber) + 32;
+      if (e.full != nullptr) total += ApproxSize(*e.full);
       for (const Row& r : e.added) total += ApproxSize(r);
       for (const Row& r : e.removed) total += ApproxSize(r);
     }
@@ -252,9 +396,9 @@ class CheckpointLog final : public StateLog<StateT> {
   struct Entry {
     TransactionNumber txn = 0;
     Schema schema;
-    bool is_checkpoint = false;
-    std::vector<Row> added;    // full rows when is_checkpoint
-    std::vector<Row> removed;  // empty when is_checkpoint
+    std::shared_ptr<const StateT> full;  // non-null iff checkpoint entry
+    std::vector<Row> added;              // delta entries only
+    std::vector<Row> removed;
   };
 
   static void ApplyDelta(const Entry& entry, std::vector<Row>& rows) {
@@ -276,18 +420,24 @@ class CheckpointLog final : public StateLog<StateT> {
 
   size_t interval_;
   std::vector<Entry> entries_;
-  std::vector<Row> tail_rows_;
+  std::shared_ptr<const StateT> tail_state_;
+  FindStateCache<StateT> cache_;
 };
 
 /// Reverse-delta engine (the RCS layout): the most recent state is stored
 /// in full and each older state is reachable through a *backward* delta.
-/// ρ(R, ∞) reads the stored state directly; rolling back to the k-th most
-/// recent state replays k backward deltas. The natural complement of
-/// DeltaLog when queries skew towards the present.
+/// ρ(R, ∞) hands out the shared current state in O(1); rolling back to the
+/// k-th most recent state replays backward deltas from the nearest cached
+/// reconstruction. The natural complement of DeltaLog when queries skew
+/// towards the present.
 template <typename StateT>
 class ReverseDeltaLog final : public StateLog<StateT> {
  public:
   using Row = typename StateTraits<StateT>::Row;
+
+  explicit ReverseDeltaLog(
+      size_t cache_capacity = kDefaultFindStateCacheCapacity)
+      : cache_(cache_capacity) {}
 
   Status Append(const StateT& state, TransactionNumber txn) override {
     if (!txns_.empty() && txn <= txns_.back()) {
@@ -296,44 +446,59 @@ class ReverseDeltaLog final : public StateLog<StateT> {
     const std::vector<Row>& new_rows = StateTraits<StateT>::Rows(state);
     if (!txns_.empty()) {
       // Record how to get the *previous* state back from the new one.
+      const std::vector<Row>& current_rows =
+          StateTraits<StateT>::Rows(*current_state_);
       BackEntry entry;
-      entry.schema = current_schema_;
-      if (current_schema_ != state.schema()) {
+      entry.schema = current_state_->schema();
+      if (current_state_->schema() != state.schema()) {
         // Scheme boundary: keep the previous rows verbatim.
         entry.is_full = true;
-        entry.added = current_rows_;
+        entry.added = current_rows;
       } else {
-        std::set_difference(current_rows_.begin(), current_rows_.end(),
+        std::set_difference(current_rows.begin(), current_rows.end(),
                             new_rows.begin(), new_rows.end(),
                             std::back_inserter(entry.added));
         std::set_difference(new_rows.begin(), new_rows.end(),
-                            current_rows_.begin(), current_rows_.end(),
+                            current_rows.begin(), current_rows.end(),
                             std::back_inserter(entry.removed));
       }
       back_deltas_.push_back(std::move(entry));
     }
     txns_.push_back(txn);
-    current_rows_ = new_rows;
-    current_schema_ = state.schema();
+    current_state_ = std::make_shared<const StateT>(state);
+    cache_.Clear();
     return Status::Ok();
   }
 
   Status ReplaceLast(const StateT& state, TransactionNumber txn) override {
     txns_.clear();
     back_deltas_.clear();
-    current_rows_.clear();
+    current_state_.reset();
+    cache_.Clear();
     return Append(state, txn);
   }
 
-  std::optional<StateT> StateAt(TransactionNumber txn) const override {
+  std::shared_ptr<const StateT> StateAt(TransactionNumber txn) const override {
     auto it = std::upper_bound(txns_.begin(), txns_.end(), txn);
-    if (it == txns_.begin()) return std::nullopt;
+    if (it == txns_.begin()) return nullptr;
     const size_t target = static_cast<size_t>(it - txns_.begin()) - 1;
-    std::vector<Row> rows = current_rows_;
-    Schema schema = current_schema_;
-    // Walk backwards from the newest version (index size-1) to `target`;
-    // back_deltas_[k] recovers version k from version k+1.
-    for (size_t k = txns_.size() - 1; k > target; --k) {
+    if (target + 1 == txns_.size()) return current_state_;
+    if (auto cached = cache_.Get(target)) return cached;
+    // Walk backwards towards `target` from the nearest reconstruction at
+    // or after it (cached, or the current state); back_deltas_[k] recovers
+    // version k from version k+1.
+    size_t from = txns_.size() - 1;
+    std::vector<Row> rows;
+    Schema schema;
+    if (auto seed = cache_.Ceil(target); seed && seed->first < from) {
+      from = seed->first;
+      rows = StateTraits<StateT>::Rows(*seed->second);
+      schema = seed->second->schema();
+    } else {
+      rows = StateTraits<StateT>::Rows(*current_state_);
+      schema = current_state_->schema();
+    }
+    for (size_t k = from; k > target; --k) {
       const BackEntry& entry = back_deltas_[k - 1];
       if (entry.is_full) {
         rows = entry.added;
@@ -342,7 +507,10 @@ class ReverseDeltaLog final : public StateLog<StateT> {
       }
       schema = entry.schema;
     }
-    return StateTraits<StateT>::FromRows(schema, std::move(rows));
+    auto state = std::make_shared<const StateT>(
+        StateTraits<StateT>::FromRows(schema, std::move(rows)));
+    cache_.Put(target, state);
+    return state;
   }
 
   size_t size() const override { return txns_.size(); }
@@ -351,7 +519,7 @@ class ReverseDeltaLog final : public StateLog<StateT> {
 
   size_t ApproxBytes() const override {
     size_t total = 64;
-    for (const Row& r : current_rows_) total += ApproxSize(r);
+    if (current_state_ != nullptr) total += ApproxSize(*current_state_);
     for (const BackEntry& e : back_deltas_) {
       total += 32;
       for (const Row& r : e.added) total += ApproxSize(r);
@@ -394,8 +562,8 @@ class ReverseDeltaLog final : public StateLog<StateT> {
 
   std::vector<TransactionNumber> txns_;
   std::vector<BackEntry> back_deltas_;  // size = txns_.size() - 1
-  std::vector<Row> current_rows_;
-  Schema current_schema_;
+  std::shared_ptr<const StateT> current_state_;
+  FindStateCache<StateT> cache_;
 };
 
 }  // namespace ttra

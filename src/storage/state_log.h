@@ -45,8 +45,9 @@ struct StateTraits<SnapshotState> {
     return state.tuples();
   }
   static SnapshotState FromRows(const Schema& schema, std::vector<Row> rows) {
-    // Rows originate from validated states, so Make cannot fail.
-    return *SnapshotState::Make(schema, std::move(rows));
+    // Rows originate from validated states and delta replay preserves
+    // canonical order, so the trusted constructor applies.
+    return SnapshotState::FromCanonical(schema, std::move(rows));
   }
 };
 
@@ -58,7 +59,7 @@ struct StateTraits<HistoricalState> {
   }
   static HistoricalState FromRows(const Schema& schema,
                                   std::vector<Row> rows) {
-    return *HistoricalState::Make(schema, std::move(rows));
+    return HistoricalState::FromCanonical(schema, std::move(rows));
   }
 };
 
@@ -82,8 +83,11 @@ class StateLog {
   virtual Status ReplaceLast(const StateT& state, TransactionNumber txn) = 0;
 
   /// FINDSTATE: the state whose transaction number is the largest one
-  /// <= txn, or nullopt if the sequence is empty or txn precedes it.
-  virtual std::optional<StateT> StateAt(TransactionNumber txn) const = 0;
+  /// <= txn, or nullptr if the sequence is empty or txn precedes it.
+  /// States are immutable and shared: full-copy entries, the tail state,
+  /// and cached reconstructions are returned without copying tuples.
+  virtual std::shared_ptr<const StateT> StateAt(
+      TransactionNumber txn) const = 0;
 
   /// Number of (state, txn) pairs in the logical sequence.
   virtual size_t size() const = 0;
@@ -107,12 +111,21 @@ size_t ApproxSize(const SnapshotState& state);
 size_t ApproxSize(const HistoricalTuple& tuple);
 size_t ApproxSize(const HistoricalState& state);
 
+/// Default capacity of the per-log FINDSTATE reconstruction cache (the
+/// retrieval half of the E3 tradeoff): recently reconstructed states are
+/// kept alive so repeated rollbacks to the same or nearby transactions
+/// are O(1) instead of O(replay).
+inline constexpr size_t kDefaultFindStateCacheCapacity = 8;
+
 /// Factory for the engine implementations in this module.
 /// `checkpoint_interval` applies to kCheckpoint only (a full state is
 /// stored every `checkpoint_interval` entries; deltas in between).
+/// `cache_capacity` sizes the FINDSTATE reconstruction cache of the
+/// replay-based engines (delta/checkpoint/reverse-delta); 0 disables it.
 template <typename StateT>
-std::unique_ptr<StateLog<StateT>> MakeStateLog(StorageKind kind,
-                                               size_t checkpoint_interval = 16);
+std::unique_ptr<StateLog<StateT>> MakeStateLog(
+    StorageKind kind, size_t checkpoint_interval = 16,
+    size_t cache_capacity = kDefaultFindStateCacheCapacity);
 
 }  // namespace ttra
 

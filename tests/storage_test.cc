@@ -22,8 +22,10 @@ SnapshotState Nums(std::vector<int64_t> values) {
 
 class EngineTest : public ::testing::TestWithParam<StorageKind> {
  protected:
-  std::unique_ptr<StateLog<SnapshotState>> MakeLog() {
-    return MakeStateLog<SnapshotState>(GetParam(), /*checkpoint_interval=*/4);
+  std::unique_ptr<StateLog<SnapshotState>> MakeLog(
+      size_t cache_capacity = kDefaultFindStateCacheCapacity) {
+    return MakeStateLog<SnapshotState>(GetParam(), /*checkpoint_interval=*/4,
+                                       cache_capacity);
   }
 };
 
@@ -49,8 +51,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, EngineTest,
 TEST_P(EngineTest, EmptyLogHasNoStates) {
   auto log = MakeLog();
   EXPECT_EQ(log->size(), 0u);
-  EXPECT_FALSE(log->StateAt(0).has_value());
-  EXPECT_FALSE(log->StateAt(1000).has_value());
+  EXPECT_EQ(log->StateAt(0), nullptr);
+  EXPECT_EQ(log->StateAt(1000), nullptr);
 }
 
 TEST_P(EngineTest, AppendAndFindState) {
@@ -59,7 +61,7 @@ TEST_P(EngineTest, AppendAndFindState) {
   ASSERT_TRUE(log->Append(Nums({1, 2}), 5).ok());
   ASSERT_TRUE(log->Append(Nums({2}), 9).ok());
   EXPECT_EQ(log->size(), 3u);
-  EXPECT_FALSE(log->StateAt(1).has_value());
+  EXPECT_EQ(log->StateAt(1), nullptr);
   EXPECT_EQ(*log->StateAt(2), Nums({1}));
   EXPECT_EQ(*log->StateAt(4), Nums({1}));
   EXPECT_EQ(*log->StateAt(5), Nums({1, 2}));
@@ -106,6 +108,49 @@ TEST_P(EngineTest, HandlesSchemeChangeViaRebase) {
   EXPECT_EQ(*log->StateAt(3), wide);
 }
 
+TEST_P(EngineTest, RepeatedFindStateIsStableAndCached) {
+  auto cached = MakeLog(/*cache_capacity=*/4);
+  auto uncached = MakeLog(/*cache_capacity=*/0);
+  workload::Generator gen(11);
+  SnapshotState state = gen.RandomState(OneCol(), 12);
+  for (TransactionNumber txn = 2; txn <= 40; txn += 2) {
+    ASSERT_TRUE(cached->Append(state, txn).ok());
+    ASSERT_TRUE(uncached->Append(state, txn).ok());
+    state = gen.MutateState(state, 0.4);
+  }
+  // Every probe agrees with the cache disabled, repeatedly (the second
+  // probe of each txn exercises the cache hit path).
+  for (int round = 0; round < 3; ++round) {
+    for (TransactionNumber probe = 0; probe <= 42; ++probe) {
+      auto a = cached->StateAt(probe);
+      auto b = uncached->StateAt(probe);
+      ASSERT_EQ(a != nullptr, b != nullptr) << "txn " << probe;
+      if (a != nullptr) EXPECT_EQ(*a, *b) << "txn " << probe;
+    }
+  }
+  // Repeated probes of the same transaction share one reconstruction.
+  auto first = cached->StateAt(20);
+  auto second = cached->StateAt(20);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());
+}
+
+TEST_P(EngineTest, CacheInvalidatedByAppendAndReplaceLast) {
+  auto log = MakeLog(/*cache_capacity=*/4);
+  ASSERT_TRUE(log->Append(Nums({1}), 2).ok());
+  ASSERT_TRUE(log->Append(Nums({1, 2}), 4).ok());
+  EXPECT_EQ(*log->StateAt(2), Nums({1}));  // populate the cache
+  EXPECT_EQ(*log->StateAt(4), Nums({1, 2}));
+  ASSERT_TRUE(log->Append(Nums({3}), 6).ok());
+  EXPECT_EQ(*log->StateAt(2), Nums({1}));
+  EXPECT_EQ(*log->StateAt(4), Nums({1, 2}));
+  EXPECT_EQ(*log->StateAt(6), Nums({3}));
+  ASSERT_TRUE(log->ReplaceLast(Nums({9}), 7).ok());
+  EXPECT_EQ(log->size(), 1u);
+  EXPECT_EQ(log->StateAt(6), nullptr);
+  EXPECT_EQ(*log->StateAt(7), Nums({9}));
+}
+
 // --- Engine equivalence under random command streams (experiment E3) ----------
 
 class EngineEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
@@ -138,10 +183,10 @@ TEST_P(EngineEquivalenceTest, AllEnginesAgreeOnEveryTransaction) {
     auto b = delta->StateAt(probe);
     auto c = ckpt->StateAt(probe);
     auto d = rev->StateAt(probe);
-    EXPECT_EQ(a.has_value(), b.has_value());
-    EXPECT_EQ(a.has_value(), c.has_value());
-    EXPECT_EQ(a.has_value(), d.has_value());
-    if (a.has_value()) {
+    EXPECT_EQ(a != nullptr, b != nullptr);
+    EXPECT_EQ(a != nullptr, c != nullptr);
+    EXPECT_EQ(a != nullptr, d != nullptr);
+    if (a != nullptr) {
       EXPECT_EQ(*a, *b) << "delta diverged at txn " << probe;
       EXPECT_EQ(*a, *c) << "checkpoint diverged at txn " << probe;
       EXPECT_EQ(*a, *d) << "reverse-delta diverged at txn " << probe;
@@ -169,9 +214,9 @@ TEST_P(EngineEquivalenceTest, HistoricalEnginesAgree) {
     auto a = full->StateAt(probe);
     auto b = delta->StateAt(probe);
     auto c = ckpt->StateAt(probe);
-    ASSERT_EQ(a.has_value(), b.has_value());
-    ASSERT_EQ(a.has_value(), c.has_value());
-    if (a.has_value()) {
+    ASSERT_EQ(a != nullptr, b != nullptr);
+    ASSERT_EQ(a != nullptr, c != nullptr);
+    if (a != nullptr) {
       EXPECT_EQ(*a, *b);
       EXPECT_EQ(*a, *c);
     }
@@ -284,8 +329,8 @@ TEST(SerializeTest, SequenceRoundTripAcrossEngines) {
   for (TransactionNumber probe = 0; probe < 25; ++probe) {
     auto a = log->StateAt(probe);
     auto b = (*rebuilt)->StateAt(probe);
-    ASSERT_EQ(a.has_value(), b.has_value());
-    if (a.has_value()) {
+    ASSERT_EQ(a != nullptr, b != nullptr);
+    if (a != nullptr) {
       EXPECT_EQ(*a, *b);
     }
   }

@@ -1,11 +1,13 @@
 #!/bin/sh
-# Full local gate: build + test normally, then again under ASan/UBSan.
+# Full local gate: build + test normally, then again under ASan/UBSan,
+# then a Release-mode bench smoke that refreshes BENCH_*.json.
 #
-#   tools/check.sh            # both passes
-#   tools/check.sh --fast     # normal pass only
+#   tools/check.sh            # all passes
+#   tools/check.sh --fast     # normal pass only (no sanitizers, no bench)
 #
-# Run from the repository root. Build trees go to build/ (normal) and
-# build-san/ (sanitized) so the two configurations never collide.
+# Run from the repository root. Build trees go to build/ (normal),
+# build-san/ (sanitized), and build-release/ (bench smoke) so the three
+# configurations never collide.
 set -eu
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -30,6 +32,23 @@ if [ "$fast" -eq 0 ]; then
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
   run_pass build-san "-DTTRA_SANITIZE=address;undefined"
+
+  # Release bench smoke (experiment E12): exercises the hash-join and
+  # FINDSTATE-cache fast paths under optimization and records the results
+  # next to the sources for EXPERIMENTS.md.
+  echo "== configure build-release (bench smoke)"
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "== build build-release benches"
+  cmake --build build-release -j "$jobs" --target bench_operators bench_rollback
+  echo "== bench smoke (BENCH_operators.json, BENCH_rollback.json)"
+  ./build-release/bench/bench_operators \
+    --benchmark_filter='BM_EquiJoin' \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_operators.json --benchmark_out_format=json
+  ./build-release/bench/bench_rollback \
+    --benchmark_filter='BM_RepeatedRollback' \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_rollback.json --benchmark_out_format=json
 fi
 
 echo "== all checks passed"
