@@ -115,7 +115,7 @@ Result<HistoricalState> Product(const HistoricalState& lhs,
     return HistoricalState::FromCanonical(*std::move(schema),
                                           std::move(combined));
   } else {
-    return InvalidArgumentError(
+    return SchemaMismatchError(
         "product requires attribute-name-disjoint schemas (rename first): " +
         schema.status().message());
   }
@@ -186,7 +186,7 @@ Result<HistoricalState> ThetaJoin(const HistoricalState& lhs,
   Result<Schema> concat = lhs.schema().Concat(rhs.schema());
   if (!concat.ok()) {
     // Same report as Product, so σ̂_F(E1 ×̂ E2) and its fused form agree.
-    return InvalidArgumentError(
+    return SchemaMismatchError(
         "product requires attribute-name-disjoint schemas (rename first): " +
         concat.status().message());
   }

@@ -1,5 +1,8 @@
 #include "lang/analyzer.h"
 
+#include <set>
+#include <vector>
+
 namespace ttra::lang {
 
 std::string_view StateKindName(StateKind kind) {
@@ -51,9 +54,13 @@ Status Catalog::Apply(const Stmt& stmt) {
 
 namespace {
 
-Result<ExprType> AnalyzeBinary(const Expr& expr, const Catalog& catalog) {
-  TTRA_ASSIGN_OR_RETURN(ExprType lhs, Analyze(expr.left(), catalog));
-  TTRA_ASSIGN_OR_RETURN(ExprType rhs, Analyze(expr.right(), catalog));
+/// True for kinds with at least one child expression (left()).
+bool HasChild(Expr::Kind kind) {
+  return kind != Expr::Kind::kConst && kind != Expr::Kind::kRollback;
+}
+
+Result<ExprType> CombineBinary(const Expr& expr, const ExprType& lhs,
+                               const ExprType& rhs) {
   if (lhs.kind != rhs.kind) {
     return TypeMismatchError(
         std::string(BinaryOpName(expr.op())) + " mixes a " +
@@ -97,8 +104,7 @@ Result<ExprType> AnalyzeBinary(const Expr& expr, const Catalog& catalog) {
   return InternalError("unhandled binary operator");
 }
 
-Result<ExprType> AnalyzeExtend(const Expr& expr, const Catalog& catalog) {
-  TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
+Result<ExprType> ExtendType(const Expr& expr, const ExprType& child) {
   std::vector<Attribute> attrs = child.schema.attributes();
   for (const auto& [name, scalar] : expr.definitions()) {
     TTRA_ASSIGN_OR_RETURN(ValueType type, scalar.TypeIn(child.schema));
@@ -113,9 +119,13 @@ Result<ExprType> AnalyzeExtend(const Expr& expr, const Catalog& catalog) {
   return ExprType{child.kind, std::move(schema)};
 }
 
-}  // namespace
-
-Result<ExprType> Analyze(const Expr& expr, const Catalog& catalog) {
+/// Type of one node given its (already analyzed) child types. Leaves ignore
+/// `lhs`/`rhs`; binary nodes use both; every other kind uses `lhs` only.
+/// Shared by the fail-fast and the collecting traversals so both report
+/// exactly the same node-level errors.
+Result<ExprType> TypeOfNode(const Expr& expr, const Catalog& catalog,
+                            const std::optional<ExprType>& lhs,
+                            const std::optional<ExprType>& rhs) {
   switch (expr.kind()) {
     case Expr::Kind::kConst:
       if (std::holds_alternative<HistoricalState>(expr.constant())) {
@@ -125,42 +135,35 @@ Result<ExprType> Analyze(const Expr& expr, const Catalog& catalog) {
       return ExprType{StateKind::kSnapshot,
                       std::get<SnapshotState>(expr.constant()).schema()};
     case Expr::Kind::kBinary:
-      return AnalyzeBinary(expr, catalog);
+      return CombineBinary(expr, *lhs, *rhs);
     case Expr::Kind::kProject: {
-      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
       TTRA_ASSIGN_OR_RETURN(Schema schema,
-                            child.schema.Project(expr.attributes()));
-      return ExprType{child.kind, std::move(schema)};
+                            lhs->schema.Project(expr.attributes()));
+      return ExprType{lhs->kind, std::move(schema)};
     }
-    case Expr::Kind::kSelect: {
-      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
-      TTRA_RETURN_IF_ERROR(expr.predicate().Validate(child.schema));
-      return child;
-    }
+    case Expr::Kind::kSelect:
+      TTRA_RETURN_IF_ERROR(expr.predicate().Validate(lhs->schema));
+      return *lhs;
     case Expr::Kind::kRename: {
-      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
       TTRA_ASSIGN_OR_RETURN(
           Schema schema,
-          child.schema.Rename(expr.rename_from(), expr.rename_to()));
-      return ExprType{child.kind, std::move(schema)};
+          lhs->schema.Rename(expr.rename_from(), expr.rename_to()));
+      return ExprType{lhs->kind, std::move(schema)};
     }
     case Expr::Kind::kExtend:
-      return AnalyzeExtend(expr, catalog);
-    case Expr::Kind::kDelta: {
-      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
-      if (child.kind != StateKind::kHistorical) {
+      return ExtendType(expr, *lhs);
+    case Expr::Kind::kDelta:
+      if (lhs->kind != StateKind::kHistorical) {
         return TypeMismatchError(
             "delta applies to historical states only; operand is snapshot");
       }
-      return child;
-    }
+      return *lhs;
     case Expr::Kind::kSummarize: {
-      TTRA_ASSIGN_OR_RETURN(ExprType child, Analyze(expr.left(), catalog));
       TTRA_ASSIGN_OR_RETURN(
           Schema schema,
-          AggregateSchema(child.schema, expr.group_attrs(),
+          AggregateSchema(lhs->schema, expr.group_attrs(),
                           expr.aggregates()));
-      return ExprType{child.kind, std::move(schema)};
+      return ExprType{lhs->kind, std::move(schema)};
     }
     case Expr::Kind::kRollback: {
       const Catalog::Entry* entry = catalog.Find(expr.relation_name());
@@ -203,68 +206,272 @@ Result<ExprType> Analyze(const Expr& expr, const Catalog& catalog) {
   return InternalError("unhandled expression kind");
 }
 
-Status AnalyzeStmt(const Stmt& stmt, const Catalog& catalog) {
-  return std::visit(
-      [&catalog](const auto& s) -> Status {
+}  // namespace
+
+Result<ExprType> Analyze(const Expr& expr, const Catalog& catalog) {
+  std::optional<ExprType> lhs;
+  std::optional<ExprType> rhs;
+  if (HasChild(expr.kind())) {
+    TTRA_ASSIGN_OR_RETURN(ExprType left, Analyze(expr.left(), catalog));
+    lhs = std::move(left);
+    if (expr.kind() == Expr::Kind::kBinary) {
+      TTRA_ASSIGN_OR_RETURN(ExprType right, Analyze(expr.right(), catalog));
+      rhs = std::move(right);
+    }
+  }
+  return TypeOfNode(expr, catalog, lhs, rhs);
+}
+
+std::optional<ExprType> CheckExpr(const Expr& expr, const Catalog& catalog,
+                                  DiagnosticSink& sink) {
+  std::optional<ExprType> lhs;
+  std::optional<ExprType> rhs;
+  bool children_ok = true;
+  if (HasChild(expr.kind())) {
+    lhs = CheckExpr(expr.left(), catalog, sink);
+    if (!lhs.has_value()) children_ok = false;
+    if (expr.kind() == Expr::Kind::kBinary) {
+      rhs = CheckExpr(expr.right(), catalog, sink);
+      if (!rhs.has_value()) children_ok = false;
+    }
+  }
+  // Errors in the children are already in the sink; a node whose operands
+  // failed cannot be typed, and re-reporting would duplicate diagnostics.
+  if (!children_ok) return std::nullopt;
+  auto type = TypeOfNode(expr, catalog, lhs, rhs);
+  if (!type.ok()) {
+    sink.AddError(type.status(), expr.span());
+    return std::nullopt;
+  }
+  return std::move(type).value();
+}
+
+namespace {
+
+StateKind RequiredKind(RelationType type) {
+  return HoldsSnapshotStates(type) ? StateKind::kSnapshot
+                                   : StateKind::kHistorical;
+}
+
+/// The state kind an expression is forced to by its syntax alone. Every
+/// operator yields its (left) operand's kind except delta, which always
+/// yields historical; leaves are constants and rollback operators, whose
+/// kinds are manifest. Defined for every tree, even ill-typed ones.
+StateKind StructuralKind(const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kConst:
+      return std::holds_alternative<HistoricalState>(expr.constant())
+                 ? StateKind::kHistorical
+                 : StateKind::kSnapshot;
+    case Expr::Kind::kRollback:
+      return expr.rollback_historical() ? StateKind::kHistorical
+                                        : StateKind::kSnapshot;
+    case Expr::Kind::kDelta:
+      return StateKind::kHistorical;
+    default:
+      return StructuralKind(expr.left());
+  }
+}
+
+SourceSpan SpanOrStmt(const Expr& expr, const Stmt& stmt) {
+  return expr.span().valid() ? expr.span() : StmtSpan(stmt);
+}
+
+}  // namespace
+
+void CheckStmt(const Stmt& stmt, const Catalog& catalog,
+               DiagnosticSink& sink) {
+  std::visit(
+      [&](const auto& s) {
         using T = std::decay_t<decltype(s)>;
         if constexpr (std::is_same_v<T, ModifyStateStmt>) {
           const Catalog::Entry* entry = catalog.Find(s.name);
           if (entry == nullptr) {
-            return UnknownIdentifierError(
-                "modify_state of undefined relation: " + s.name);
+            sink.AddError(UnknownIdentifierError(
+                              "modify_state of undefined relation: " + s.name),
+                          s.span);
           }
-          auto type = Analyze(s.expr, catalog);
-          if (!type.ok()) return type.status();
-          const StateKind required = HoldsSnapshotStates(entry->type)
-                                         ? StateKind::kSnapshot
-                                         : StateKind::kHistorical;
-          if (type->kind != required) {
-            return TypeMismatchError(
-                "modify_state of " +
-                std::string(RelationTypeName(entry->type)) + " relation '" +
-                s.name + "' requires a " +
-                std::string(StateKindName(required)) +
-                " expression, got " + std::string(StateKindName(type->kind)));
+          auto type = CheckExpr(s.expr, catalog, sink);
+          if (entry == nullptr) return;
+          const StateKind required = RequiredKind(entry->type);
+          if (type.has_value()) {
+            if (type->kind != required) {
+              sink.AddError(
+                  TypeMismatchError(
+                      "modify_state of " +
+                      std::string(RelationTypeName(entry->type)) +
+                      " relation '" + s.name + "' requires a " +
+                      std::string(StateKindName(required)) +
+                      " expression, got " +
+                      std::string(StateKindName(type->kind))),
+                  SpanOrStmt(s.expr, stmt));
+            } else if (type->schema != entry->schema) {
+              sink.AddError(
+                  SchemaMismatchError("modify_state expression schema " +
+                                      type->schema.ToString() +
+                                      " does not match relation schema " +
+                                      entry->schema.ToString()),
+                  SpanOrStmt(s.expr, stmt));
+            }
+          } else if (StructuralKind(s.expr) != required) {
+            // The expression failed to type-check, but its kind is already
+            // decided by its syntax — fixing the reported errors cannot make
+            // this statement succeed.
+            sink.AddWarning(
+                kWarnKindNeverMatches, SpanOrStmt(s.expr, stmt),
+                "expression kind can never match: '" + s.name + "' is a " +
+                    std::string(RelationTypeName(entry->type)) +
+                    " relation holding " +
+                    std::string(StateKindName(required)) +
+                    " states, but this expression is structurally " +
+                    std::string(StateKindName(StructuralKind(s.expr))));
           }
-          if (type->schema != entry->schema) {
-            return SchemaMismatchError(
-                "modify_state expression schema " + type->schema.ToString() +
-                " does not match relation schema " +
-                entry->schema.ToString());
-          }
-          return Status::Ok();
         } else if constexpr (std::is_same_v<T, ShowStmt>) {
-          auto type = Analyze(s.expr, catalog);
-          return type.ok() ? Status::Ok() : type.status();
+          CheckExpr(s.expr, catalog, sink);
         } else if constexpr (std::is_same_v<T, DefineRelationStmt>) {
           if (catalog.Find(s.name) != nullptr) {
-            return AlreadyDefinedError("relation already defined: " + s.name);
+            sink.AddError(
+                AlreadyDefinedError("relation already defined: " + s.name),
+                s.span);
           }
-          return Status::Ok();
         } else if constexpr (std::is_same_v<T, DeleteRelationStmt>) {
           if (catalog.Find(s.name) == nullptr) {
-            return UnknownIdentifierError(
-                "delete_relation of undefined relation: " + s.name);
+            sink.AddError(UnknownIdentifierError(
+                              "delete_relation of undefined relation: " +
+                              s.name),
+                          s.span);
           }
-          return Status::Ok();
         } else {
           static_assert(std::is_same_v<T, ModifySchemaStmt>);
           if (catalog.Find(s.name) == nullptr) {
-            return UnknownIdentifierError(
-                "modify_schema of undefined relation: " + s.name);
+            sink.AddError(UnknownIdentifierError(
+                              "modify_schema of undefined relation: " +
+                              s.name),
+                          s.span);
           }
-          return Status::Ok();
         }
       },
       stmt);
 }
 
-Status AnalyzeProgram(const Program& program, Catalog catalog) {
-  for (const Stmt& stmt : program) {
-    TTRA_RETURN_IF_ERROR(AnalyzeStmt(stmt, catalog));
-    TTRA_RETURN_IF_ERROR(catalog.Apply(stmt));
+namespace {
+
+/// Relation names a statement reads or writes (delete_relation's target is
+/// deliberately excluded: deleting a relation is not "using" it for the
+/// purposes of TTRA-W004).
+std::set<std::string> ReferencedNames(const Stmt& stmt) {
+  std::set<std::string> names;
+  if (const Expr* expr = StmtExpr(stmt)) names = expr->RelationNames();
+  if (const auto* modify = std::get_if<ModifyStateStmt>(&stmt)) {
+    names.insert(modify->name);
   }
-  return Status::Ok();
+  if (const auto* schema = std::get_if<ModifySchemaStmt>(&stmt)) {
+    names.insert(schema->name);
+  }
+  return names;
+}
+
+/// TTRA-W003: warns on every ρ/ρ̂ with a literal transaction number greater
+/// than `max_txn`, the largest transaction that can have committed by the
+/// time the enclosing statement executes.
+void WarnFutureRollbacks(const Expr& expr, TransactionNumber max_txn,
+                         DiagnosticSink& sink) {
+  if (expr.kind() == Expr::Kind::kRollback) {
+    if (expr.rollback_txn().has_value() && *expr.rollback_txn() > max_txn) {
+      sink.AddWarning(
+          kWarnRollbackInFuture, expr.span(),
+          "rollback to transaction " + std::to_string(*expr.rollback_txn()) +
+              ", but at most " + std::to_string(max_txn) +
+              " transactions can have committed when this statement runs");
+    }
+    return;
+  }
+  if (expr.kind() == Expr::Kind::kConst) return;
+  WarnFutureRollbacks(expr.left(), max_txn, sink);
+  if (expr.kind() == Expr::Kind::kBinary) {
+    WarnFutureRollbacks(expr.right(), max_txn, sink);
+  }
+}
+
+}  // namespace
+
+void CheckProgram(const Program& program, Catalog catalog,
+                  DiagnosticSink& sink, const AnalyzeOptions& options) {
+  // Index of each relation's first define_relation (for TTRA-W001) and the
+  // names each statement references (for TTRA-W001/W004).
+  std::map<std::string, size_t> first_define;
+  std::vector<std::set<std::string>> referenced(program.size());
+  for (size_t i = 0; i < program.size(); ++i) {
+    if (const auto* define = std::get_if<DefineRelationStmt>(&program[i])) {
+      first_define.try_emplace(define->name, i);
+    }
+    referenced[i] = ReferencedNames(program[i]);
+  }
+
+  std::optional<size_t> first_failed;
+  size_t commands_before = 0;  // non-show statements preceding this one
+  for (size_t i = 0; i < program.size(); ++i) {
+    const Stmt& stmt = program[i];
+    if (first_failed.has_value() && *first_failed + 1 == i) {
+      sink.AddWarning(
+          kWarnUnreachableStmt, StmtSpan(stmt),
+          "unreachable: strict execution stops at the first failing command "
+          "(statement " +
+              std::to_string(*first_failed + 1) + ")");
+    }
+    const size_t errors_before = sink.error_count();
+    CheckStmt(stmt, catalog, sink);
+    for (const std::string& name : referenced[i]) {
+      if (catalog.Find(name) != nullptr) continue;
+      auto it = first_define.find(name);
+      if (it != first_define.end() && it->second > i) {
+        sink.AddWarning(kWarnUseBeforeDefine, StmtSpan(stmt),
+                        "relation '" + name +
+                            "' is used here but only defined by statement " +
+                            std::to_string(it->second + 1));
+      }
+    }
+    if (options.initial_txn.has_value()) {
+      if (const Expr* expr = StmtExpr(stmt)) {
+        WarnFutureRollbacks(*expr, *options.initial_txn + commands_before,
+                            sink);
+      }
+    }
+    if (sink.error_count() > errors_before && !first_failed.has_value()) {
+      first_failed = i;
+    }
+    // The statement's effect still applies so later statements are checked
+    // against the right catalog; failure conditions were reported above.
+    (void)catalog.Apply(stmt);
+    if (!std::holds_alternative<ShowStmt>(stmt)) ++commands_before;
+  }
+
+  // TTRA-W004: a defined relation no later statement reads or writes.
+  for (size_t i = 0; i < program.size(); ++i) {
+    const auto* define = std::get_if<DefineRelationStmt>(&program[i]);
+    if (define == nullptr || first_define.at(define->name) != i) continue;
+    bool used = false;
+    for (size_t j = i + 1; j < program.size() && !used; ++j) {
+      used = referenced[j].contains(define->name);
+    }
+    if (!used) {
+      sink.AddWarning(kWarnUnusedRelation, StmtSpan(program[i]),
+                      "relation '" + define->name +
+                          "' is defined but never used");
+    }
+  }
+}
+
+Status AnalyzeStmt(const Stmt& stmt, const Catalog& catalog) {
+  DiagnosticSink sink;
+  CheckStmt(stmt, catalog, sink);
+  return sink.FirstError();
+}
+
+Status AnalyzeProgram(const Program& program, Catalog catalog) {
+  DiagnosticSink sink;
+  CheckProgram(program, std::move(catalog), sink);
+  return sink.FirstError();
 }
 
 }  // namespace ttra::lang

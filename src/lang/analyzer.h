@@ -2,9 +2,11 @@
 #define TTRA_LANG_ANALYZER_H_
 
 #include <map>
+#include <optional>
 #include <string>
 
 #include "lang/ast.h"
+#include "lang/diagnostics.h"
 #include "rollback/database.h"
 
 namespace ttra::lang {
@@ -48,7 +50,7 @@ class Catalog {
 /// Static analysis of an expression: resolves each polymorphic operator
 /// use, checks schemas/types, and returns the expression's type. Mirrors
 /// every run-time error the evaluator can produce except value-dependent
-/// ones.
+/// ones. Fail-fast: stops at the first error.
 Result<ExprType> Analyze(const Expr& expr, const Catalog& catalog);
 
 /// Checks one statement (expression analysis plus command-level rules:
@@ -57,6 +59,41 @@ Status AnalyzeStmt(const Stmt& stmt, const Catalog& catalog);
 
 /// Checks a whole program, threading catalog effects through the sequence.
 Status AnalyzeProgram(const Program& program, Catalog catalog);
+
+// --- Collecting engine ------------------------------------------------------
+//
+// The Check* family never stops at the first problem: every statement is
+// analyzed, every error lands in the sink with the source span of the
+// offending construct, and the five TTRA-W warnings are reported alongside.
+// The Analyze* functions above are thin wrappers returning the sink's first
+// error, so existing Status-based callers keep their exact behavior.
+
+/// Program-level context for CheckProgram's warnings.
+struct AnalyzeOptions {
+  /// Transaction number the program's first command would commit under.
+  /// Enables TTRA-W003 (rollback to a transaction that cannot have
+  /// committed yet); unset disables that warning.
+  std::optional<TransactionNumber> initial_txn;
+};
+
+/// Collecting analysis of an expression. Reports every error found in the
+/// tree (both operands of a binary operator are always visited) and returns
+/// the expression's type, or nullopt if any error was reported.
+std::optional<ExprType> CheckExpr(const Expr& expr, const Catalog& catalog,
+                                  DiagnosticSink& sink);
+
+/// Collecting analysis of one statement. May also report TTRA-W002 when a
+/// modify_state expression's kind is fixed by syntax and cannot match the
+/// target relation's required kind.
+void CheckStmt(const Stmt& stmt, const Catalog& catalog, DiagnosticSink& sink);
+
+/// Collecting analysis of a whole program: checks every statement (threading
+/// catalog effects through even past errors) and reports the program-level
+/// warnings TTRA-W001 (use before definition), TTRA-W003 (rollback to an
+/// uncommittable transaction), TTRA-W004 (relation defined but never used),
+/// and TTRA-W005 (statement unreachable under strict execution).
+void CheckProgram(const Program& program, Catalog catalog,
+                  DiagnosticSink& sink, const AnalyzeOptions& options = {});
 
 }  // namespace ttra::lang
 

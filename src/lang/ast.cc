@@ -287,6 +287,8 @@ struct Expr::Node {
   std::string relation_name;
   std::optional<TransactionNumber> rollback_txn;
   bool rollback_historical = false;
+  // Source position (not structure; excluded from operator==).
+  SourceSpan span;
 };
 
 Expr::Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
@@ -435,6 +437,14 @@ std::string Expr::ToString() const {
   return "?";
 }
 
+const SourceSpan& Expr::span() const { return node_->span; }
+
+Expr Expr::WithSpan(SourceSpan span) const {
+  auto node = std::make_shared<Node>(*node_);
+  node->span = span;
+  return Expr(std::move(node));
+}
+
 std::set<std::string> Expr::RelationNames() const {
   std::set<std::string> names;
   switch (node_->kind) {
@@ -560,6 +570,19 @@ std::ostream& operator<<(std::ostream& os, const Expr& expr) {
 }
 
 // --- Statements -------------------------------------------------------------
+
+const SourceSpan& StmtSpan(const Stmt& stmt) {
+  return std::visit([](const auto& s) -> const SourceSpan& { return s.span; },
+                    stmt);
+}
+
+const Expr* StmtExpr(const Stmt& stmt) {
+  if (const auto* modify = std::get_if<ModifyStateStmt>(&stmt)) {
+    return &modify->expr;
+  }
+  if (const auto* show = std::get_if<ShowStmt>(&stmt)) return &show->expr;
+  return nullptr;
+}
 
 std::string SchemaToSyntax(const Schema& schema) { return schema.ToString(); }
 

@@ -11,6 +11,7 @@
 #include "historical/hstate.h"
 #include "snapshot/aggregate.h"
 #include "historical/temporal_expr.h"
+#include "lang/diagnostics.h"
 #include "rollback/relation.h"
 #include "snapshot/predicate.h"
 #include "snapshot/state.h"
@@ -116,6 +117,14 @@ class Expr {
   /// Relation names referenced via ρ/ρ̂ anywhere in the tree.
   std::set<std::string> RelationNames() const;
 
+  /// Source region this expression was parsed from; invalid (line 0) for
+  /// programmatically built trees. Ignored by operator==.
+  const SourceSpan& span() const;
+
+  /// Copy of this expression annotated with a source span (children keep
+  /// their own spans). Used by the parser; cheap — one node is cloned.
+  Expr WithSpan(SourceSpan span) const;
+
   friend bool operator==(const Expr& a, const Expr& b);
 
   Kind kind() const;
@@ -158,39 +167,57 @@ std::ostream& operator<<(std::ostream& os, const Expr& expr);
 // --- Statements (the paper's COMMAND domain plus the show query and the --
 // --- extension commands). -------------------------------------------------
 
+// Statements carry the source span they were parsed from (invalid for
+// hand-built statements). Spans are position metadata, not structure, so
+// every operator== below ignores them.
+
 struct DefineRelationStmt {
   std::string name;
   RelationType type = RelationType::kSnapshot;
   Schema schema;
-  friend bool operator==(const DefineRelationStmt&,
-                         const DefineRelationStmt&) = default;
+  SourceSpan span = {};
+  friend bool operator==(const DefineRelationStmt& a,
+                         const DefineRelationStmt& b) {
+    return a.name == b.name && a.type == b.type && a.schema == b.schema;
+  }
 };
 
 struct ModifyStateStmt {
   std::string name;
   Expr expr;
-  friend bool operator==(const ModifyStateStmt&,
-                         const ModifyStateStmt&) = default;
+  SourceSpan span = {};
+  friend bool operator==(const ModifyStateStmt& a, const ModifyStateStmt& b) {
+    return a.name == b.name && a.expr == b.expr;
+  }
 };
 
 struct DeleteRelationStmt {
   std::string name;
-  friend bool operator==(const DeleteRelationStmt&,
-                         const DeleteRelationStmt&) = default;
+  SourceSpan span = {};
+  friend bool operator==(const DeleteRelationStmt& a,
+                         const DeleteRelationStmt& b) {
+    return a.name == b.name;
+  }
 };
 
 struct ModifySchemaStmt {
   std::string name;
   Schema schema;
-  friend bool operator==(const ModifySchemaStmt&,
-                         const ModifySchemaStmt&) = default;
+  SourceSpan span = {};
+  friend bool operator==(const ModifySchemaStmt& a,
+                         const ModifySchemaStmt& b) {
+    return a.name == b.name && a.schema == b.schema;
+  }
 };
 
 /// Pure query: evaluates the expression and reports its value (the
 /// "display the contents of a relation" command of §3.1).
 struct ShowStmt {
   Expr expr;
-  friend bool operator==(const ShowStmt&, const ShowStmt&) = default;
+  SourceSpan span = {};
+  friend bool operator==(const ShowStmt& a, const ShowStmt& b) {
+    return a.expr == b.expr;
+  }
 };
 
 using Stmt = std::variant<DefineRelationStmt, ModifyStateStmt,
@@ -198,6 +225,12 @@ using Stmt = std::variant<DefineRelationStmt, ModifyStateStmt,
 
 /// The paper's SENTENCE domain: a non-empty command sequence.
 using Program = std::vector<Stmt>;
+
+/// The span of any statement alternative.
+const SourceSpan& StmtSpan(const Stmt& stmt);
+
+/// The expression inside a modify_state/show statement, nullptr otherwise.
+const Expr* StmtExpr(const Stmt& stmt);
 
 std::string SchemaToSyntax(const Schema& schema);
 std::string StmtToString(const Stmt& stmt);

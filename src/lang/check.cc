@@ -1,0 +1,19 @@
+#include "lang/check.h"
+
+#include "lang/parser.h"
+
+namespace ttra::lang {
+
+DiagnosticSink CheckSource(std::string_view source, AnalyzeOptions options) {
+  DiagnosticSink sink;
+  Diagnostic parse_diag;
+  auto program = ParseProgramDiag(source, &parse_diag);
+  if (!program.ok()) {
+    sink.Add(std::move(parse_diag));
+    return sink;
+  }
+  CheckProgram(*program, Catalog(), sink, options);
+  return sink;
+}
+
+}  // namespace ttra::lang

@@ -1,0 +1,23 @@
+#ifndef TTRA_LANG_CHECK_H_
+#define TTRA_LANG_CHECK_H_
+
+#include <string_view>
+
+#include "lang/analyzer.h"
+#include "lang/diagnostics.h"
+
+namespace ttra::lang {
+
+/// Front door of the diagnostics engine (backs `ttra check`): parses the
+/// source and runs the collecting analyzer against an empty database. A
+/// lexer or parser failure yields a single error diagnostic with the span
+/// of the offending token; otherwise every analyzer error and warning is
+/// reported. `options.initial_txn` defaults to 0 here — a checked file is
+/// judged as if executed from scratch, enabling TTRA-W003.
+DiagnosticSink CheckSource(std::string_view source,
+                           AnalyzeOptions options = {
+                               .initial_txn = TransactionNumber{0}});
+
+}  // namespace ttra::lang
+
+#endif  // TTRA_LANG_CHECK_H_

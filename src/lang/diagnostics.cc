@@ -1,0 +1,218 @@
+#include "lang/diagnostics.h"
+
+#include <cctype>
+
+namespace ttra::lang {
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+std::string_view DiagnosticCodeForError(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "";
+    case ErrorCode::kUnknownIdentifier:
+      return "TTRA-E001";
+    case ErrorCode::kAlreadyDefined:
+      return "TTRA-E002";
+    case ErrorCode::kSchemaMismatch:
+      return "TTRA-E003";
+    case ErrorCode::kTypeMismatch:
+      return "TTRA-E004";
+    case ErrorCode::kInvalidRollback:
+      return "TTRA-E005";
+    case ErrorCode::kParseError:
+      return "TTRA-E006";
+    case ErrorCode::kCorruption:
+      return "TTRA-E007";
+    case ErrorCode::kInvalidArgument:
+      return "TTRA-E008";
+    case ErrorCode::kInternal:
+      return "TTRA-E009";
+    case ErrorCode::kIoError:
+      return "TTRA-E010";
+    case ErrorCode::kUnavailable:
+      return "TTRA-E011";
+  }
+  return "TTRA-E999";
+}
+
+std::string_view DiagnosticCodeSummary(std::string_view code) {
+  if (code == "TTRA-E001") return "identifier is not bound to a relation";
+  if (code == "TTRA-E002") return "identifier is already bound";
+  if (code == "TTRA-E003") return "operand schemas are incompatible";
+  if (code == "TTRA-E004") return "expression has the wrong state kind or type";
+  if (code == "TTRA-E005") return "rollback operator applied to the wrong relation type";
+  if (code == "TTRA-E006") return "malformed concrete syntax";
+  if (code == "TTRA-E007") return "serialized bytes failed validation";
+  if (code == "TTRA-E008") return "argument outside its domain";
+  if (code == "TTRA-E009") return "internal invariant violated";
+  if (code == "TTRA-E010") return "filesystem operation failed";
+  if (code == "TTRA-E011") return "component refuses work until recovered";
+  if (code == kWarnUseBeforeDefine)
+    return "relation used before the statement that defines it";
+  if (code == kWarnKindNeverMatches)
+    return "expression kind is fixed by syntax and can never match the target";
+  if (code == kWarnRollbackInFuture)
+    return "rollback transaction number exceeds any committable transaction";
+  if (code == kWarnUnusedRelation) return "defined relation is never used";
+  if (code == kWarnUnreachableStmt)
+    return "statement is unreachable under strict execution";
+  return "";
+}
+
+void DiagnosticSink::Add(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) {
+    ++error_count_;
+  } else if (diagnostic.severity == Severity::kWarning) {
+    ++warning_count_;
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::AddError(const Status& status, SourceSpan span) {
+  Add(Diagnostic{Severity::kError,
+                 std::string(DiagnosticCodeForError(status.code())), span,
+                 status.message(), status.code()});
+}
+
+void DiagnosticSink::AddWarning(std::string_view code, SourceSpan span,
+                                std::string message) {
+  Add(Diagnostic{Severity::kWarning, std::string(code), span,
+                 std::move(message), ErrorCode::kOk});
+}
+
+Status DiagnosticSink::FirstError() const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) return Status(d.error, d.message);
+  }
+  return Status::Ok();
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view file) {
+  std::string out;
+  if (!file.empty()) out += std::string(file) + ":";
+  if (diagnostic.span.valid()) {
+    out += std::to_string(diagnostic.span.begin.line) + ":" +
+           std::to_string(diagnostic.span.begin.column) + ":";
+  }
+  if (!out.empty()) out += " ";
+  out += std::string(SeverityName(diagnostic.severity)) + "[" +
+         diagnostic.code + "]: " + diagnostic.message;
+  return out;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view file) {
+  std::string out;
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const Diagnostic& d : diagnostics) {
+    out += FormatDiagnostic(d, file) + "\n";
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+  }
+  if (diagnostics.empty()) {
+    out += file.empty() ? std::string("ok\n") : std::string(file) + ": ok\n";
+    return out;
+  }
+  if (!file.empty()) out += std::string(file) + ": ";
+  out += std::to_string(errors) + " error(s), " + std::to_string(warnings) +
+         " warning(s)\n";
+  return out;
+}
+
+namespace {
+
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view file) {
+  size_t errors = 0;
+  size_t warnings = 0;
+  std::string items;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+    if (!items.empty()) items += ",";
+    items += "\n    {\"severity\": \"" + std::string(SeverityName(d.severity)) +
+             "\", \"code\": \"" + EscapeJson(d.code) + "\"";
+    if (d.span.valid()) {
+      items += ", \"line\": " + std::to_string(d.span.begin.line) +
+               ", \"column\": " + std::to_string(d.span.begin.column) +
+               ", \"endLine\": " + std::to_string(d.span.end.line) +
+               ", \"endColumn\": " + std::to_string(d.span.end.column);
+    }
+    items += ", \"message\": \"" + EscapeJson(d.message) + "\"}";
+  }
+  std::string out = "{\n  \"file\": \"" + EscapeJson(file) + "\",\n" +
+                    "  \"errors\": " + std::to_string(errors) + ",\n" +
+                    "  \"warnings\": " + std::to_string(warnings) + ",\n" +
+                    "  \"diagnostics\": [" + items;
+  out += items.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool StatusHasSpan(const Status& status) {
+  // A position prefix is "L:C: " — digits, colon, digits, colon, space.
+  const std::string& m = status.message();
+  size_t i = 0;
+  while (i < m.size() && std::isdigit(static_cast<unsigned char>(m[i]))) ++i;
+  if (i == 0 || i >= m.size() || m[i] != ':') return false;
+  size_t j = ++i;
+  while (j < m.size() && std::isdigit(static_cast<unsigned char>(m[j]))) ++j;
+  return j > i && j + 1 < m.size() && m[j] == ':' && m[j + 1] == ' ';
+}
+
+Status WithSpan(Status status, const SourceSpan& span) {
+  if (status.ok() || !span.valid() || StatusHasSpan(status)) return status;
+  return Status(status.code(), std::to_string(span.begin.line) + ":" +
+                                   std::to_string(span.begin.column) + ": " +
+                                   status.message());
+}
+
+}  // namespace ttra::lang

@@ -1,0 +1,130 @@
+#ifndef TTRA_LANG_DIAGNOSTICS_H_
+#define TTRA_LANG_DIAGNOSTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ttra::lang {
+
+/// A 1-based position in the source text; line 0 means "unknown".
+struct SourcePos {
+  size_t line = 0;
+  size_t column = 0;
+
+  friend bool operator==(const SourcePos&, const SourcePos&) = default;
+};
+
+/// Half-open region of source text [begin, end). The parser attaches one to
+/// every expression and statement so diagnostics (static and run-time) can
+/// point at the construct that produced them. AST nodes built
+/// programmatically have no span; such diagnostics print without position.
+struct SourceSpan {
+  SourcePos begin;
+  SourcePos end;
+
+  bool valid() const { return begin.line > 0; }
+
+  friend bool operator==(const SourceSpan&, const SourceSpan&) = default;
+};
+
+enum class Severity : uint8_t { kError, kWarning, kNote };
+
+std::string_view SeverityName(Severity severity);
+
+/// One finding of the diagnostics engine: a severity, a stable registry
+/// code (see below), the source region it points at, and the message. For
+/// errors, `error` keeps the machine classification so callers can bridge
+/// back to the Status world without parsing the code string.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     // "TTRA-E004", "TTRA-W001", ...
+  SourceSpan span;      // may be invalid (position unknown)
+  std::string message;  // human-readable, carries no position info
+  ErrorCode error = ErrorCode::kOk;  // set for severity kError
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+// --- Stable code registry ---------------------------------------------------
+//
+// Error codes are derived 1:1 from ErrorCode so every Status produced by the
+// analyzer or evaluator maps to exactly one diagnostic code. Warning codes
+// are owned by the static analyzer. Codes are append-only: a published code
+// never changes meaning.
+
+/// "TTRA-E001" ... for every non-OK ErrorCode; "" for kOk.
+std::string_view DiagnosticCodeForError(ErrorCode code);
+
+// Warnings (static analysis only — never fail execution).
+inline constexpr std::string_view kWarnUseBeforeDefine = "TTRA-W001";
+inline constexpr std::string_view kWarnKindNeverMatches = "TTRA-W002";
+inline constexpr std::string_view kWarnRollbackInFuture = "TTRA-W003";
+inline constexpr std::string_view kWarnUnusedRelation = "TTRA-W004";
+inline constexpr std::string_view kWarnUnreachableStmt = "TTRA-W005";
+
+/// One-line summary of what a registry code means ("" for unknown codes).
+std::string_view DiagnosticCodeSummary(std::string_view code);
+
+/// Collects diagnostics during analysis. The analyzer never stops at the
+/// first error: every statement is checked and every finding lands here,
+/// errors and warnings interleaved in source order.
+class DiagnosticSink {
+ public:
+  void Add(Diagnostic diagnostic);
+
+  /// Records a non-OK status as an error diagnostic at `span`.
+  void AddError(const Status& status, SourceSpan span);
+
+  /// Records a warning with one of the kWarn* registry codes.
+  void AddWarning(std::string_view code, SourceSpan span, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t error_count() const { return error_count_; }
+  size_t warning_count() const { return warning_count_; }
+  bool has_errors() const { return error_count_ > 0; }
+
+  /// The first error as a Status (message without position — identical to
+  /// what the fail-fast analyzer produced), or OK if none. Bridges the
+  /// collecting engine back to the Status-based API.
+  Status FirstError() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+  size_t warning_count_ = 0;
+};
+
+// --- Rendering --------------------------------------------------------------
+
+/// "file:3:14: error[TTRA-E001]: message" (position omitted when the span
+/// is unknown; `file` may be empty).
+std::string FormatDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view file);
+
+/// All diagnostics, one per line, followed by a "N error(s), M warning(s)"
+/// summary line ("ok" when empty).
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view file);
+
+/// Machine-readable report:
+///   {"file": "...", "errors": N, "warnings": M,
+///    "diagnostics": [{"severity": ..., "code": ..., "line": ..., ...}]}
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view file);
+
+// --- Status bridging --------------------------------------------------------
+
+/// Prefixes the status message with "L:C: " so run-time errors surface the
+/// failing construct's position. No-op for OK statuses, invalid spans, or
+/// messages that already carry a position prefix (inner-most wins).
+Status WithSpan(Status status, const SourceSpan& span);
+
+/// True if the message begins with a "L:C: " position prefix.
+bool StatusHasSpan(const Status& status);
+
+}  // namespace ttra::lang
+
+#endif  // TTRA_LANG_DIAGNOSTICS_H_

@@ -10,6 +10,8 @@ namespace ttra::lang {
 
 namespace {
 
+Result<StateValue> EvalExprImpl(const Expr& expr, const Database& db);
+
 Result<StateValue> EvalBinary(const Expr& expr, const Database& db) {
   TTRA_ASSIGN_OR_RETURN(StateValue lhs, EvalExpr(expr.left(), db));
   TTRA_ASSIGN_OR_RETURN(StateValue rhs, EvalExpr(expr.right(), db));
@@ -145,9 +147,7 @@ Result<StateValue> EvalExtend(const Expr& expr, const Database& db) {
   return StateValue(std::move(result).value());
 }
 
-}  // namespace
-
-Result<StateValue> EvalExpr(const Expr& expr, const Database& db) {
+Result<StateValue> EvalExprImpl(const Expr& expr, const Database& db) {
   switch (expr.kind()) {
     case Expr::Kind::kConst:
       return expr.constant();
@@ -265,6 +265,19 @@ Result<StateValue> EvalExpr(const Expr& expr, const Database& db) {
   return InternalError("unhandled expression kind");
 }
 
+}  // namespace
+
+Result<StateValue> EvalExpr(const Expr& expr, const Database& db) {
+  auto result = EvalExprImpl(expr, db);
+  if (!result.ok()) {
+    // Attach the failing construct's source position; nested evaluations
+    // have already stamped theirs (innermost wins), and programmatically
+    // built trees carry no span, leaving the message untouched.
+    return WithSpan(result.status(), expr.span());
+  }
+  return result;
+}
+
 Status ExecStmt(const Stmt& stmt, Database& db,
                 std::vector<StateValue>* outputs, const ExecOptions& options) {
   Status status = std::visit(
@@ -292,6 +305,7 @@ Status ExecStmt(const Stmt& stmt, Database& db,
         }
       },
       stmt);
+  if (!status.ok()) status = WithSpan(status, StmtSpan(stmt));
   if (!status.ok() && !options.strict) {
     // Paper-faithful mode: a failing command is C⟦·⟧'s `else d` — the
     // database is unchanged and the sentence continues.

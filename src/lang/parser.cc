@@ -1,5 +1,7 @@
 #include "lang/parser.h"
 
+#include <algorithm>
+
 namespace ttra::lang {
 
 namespace {
@@ -11,6 +13,10 @@ class Parser {
       : tokens_(std::move(tokens)), pos_(pos) {}
 
   size_t position() const { return pos_; }
+
+  /// Structured form of the last syntax error (valid iff has_error()).
+  bool has_error() const { return has_error_; }
+  const Diagnostic& last_error() const { return last_error_; }
 
   Result<Predicate> ParsePredicateFragment() { return ParsePredicate(); }
   Result<ScalarExpr> ParseScalarFragment() { return ParseScalarExpr(); }
@@ -66,10 +72,33 @@ class Parser {
   }
 
   Status ErrorAt(const Token& token, std::string_view message) const {
-    return ::ttra::ParseError(std::string(message) + ", found " +
-                              token.Describe() + " at line " +
+    const std::string detail =
+        std::string(message) + ", found " + token.Describe();
+    last_error_ = Diagnostic{
+        Severity::kError,
+        std::string(DiagnosticCodeForError(ErrorCode::kParseError)),
+        SpanOf(token), detail, ErrorCode::kParseError};
+    has_error_ = true;
+    return ::ttra::ParseError(detail + " at line " +
                               std::to_string(token.line) + ", column " +
                               std::to_string(token.column));
+  }
+
+  // --- Source spans --------------------------------------------------------
+
+  static SourceSpan SpanOf(const Token& token) {
+    return SourceSpan{{token.line, token.column},
+                      {token.line, token.column + token.Width()}};
+  }
+
+  /// Span covering tokens_[start] through the last consumed token.
+  SourceSpan SpanFrom(size_t start) const {
+    const Token& first = tokens_[std::min(start, tokens_.size() - 1)];
+    const size_t last_idx =
+        std::min(pos_ > start ? pos_ - 1 : start, tokens_.size() - 1);
+    const Token& last = tokens_[last_idx];
+    return SourceSpan{{first.line, first.column},
+                      {last.line, last.column + last.Width()}};
   }
 
   Status Expect(TokenKind kind) {
@@ -103,6 +132,13 @@ class Parser {
   // --- Statements ----------------------------------------------------------
 
   Result<Stmt> ParseStmt() {
+    const size_t start = pos_;
+    TTRA_ASSIGN_OR_RETURN(Stmt stmt, ParseStmtInner());
+    std::visit([&](auto& s) { s.span = SpanFrom(start); }, stmt);
+    return stmt;
+  }
+
+  Result<Stmt> ParseStmtInner() {
     if (CheckKeyword("define_relation")) return ParseDefineRelation();
     if (CheckKeyword("modify_state")) return ParseModifyState();
     if (CheckKeyword("delete_relation")) return ParseDeleteRelation();
@@ -211,40 +247,52 @@ class Parser {
 
   // Precedence (loosest to tightest): union/intersect, minus, times/join.
   Result<Expr> ParseExpr() {
+    const size_t start = pos_;
     TTRA_ASSIGN_OR_RETURN(Expr lhs, ParseDiffExpr());
     while (CheckKeyword("union") || CheckKeyword("intersect")) {
       const BinaryOp op = Peek().text == "union" ? BinaryOp::kUnion
                                                  : BinaryOp::kIntersect;
       Advance();
       TTRA_ASSIGN_OR_RETURN(Expr rhs, ParseDiffExpr());
-      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs))
+                .WithSpan(SpanFrom(start));
     }
     return lhs;
   }
 
   Result<Expr> ParseDiffExpr() {
+    const size_t start = pos_;
     TTRA_ASSIGN_OR_RETURN(Expr lhs, ParseProdExpr());
     while (CheckKeyword("minus")) {
       Advance();
       TTRA_ASSIGN_OR_RETURN(Expr rhs, ParseProdExpr());
-      lhs = Expr::Binary(BinaryOp::kMinus, std::move(lhs), std::move(rhs));
+      lhs = Expr::Binary(BinaryOp::kMinus, std::move(lhs), std::move(rhs))
+                .WithSpan(SpanFrom(start));
     }
     return lhs;
   }
 
   Result<Expr> ParseProdExpr() {
+    const size_t start = pos_;
     TTRA_ASSIGN_OR_RETURN(Expr lhs, ParsePrimaryExpr());
     while (CheckKeyword("times") || CheckKeyword("join")) {
       const BinaryOp op =
           Peek().text == "times" ? BinaryOp::kTimes : BinaryOp::kJoin;
       Advance();
       TTRA_ASSIGN_OR_RETURN(Expr rhs, ParsePrimaryExpr());
-      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs))
+                .WithSpan(SpanFrom(start));
     }
     return lhs;
   }
 
   Result<Expr> ParsePrimaryExpr() {
+    const size_t start = pos_;
+    TTRA_ASSIGN_OR_RETURN(Expr expr, ParsePrimaryExprInner());
+    return expr.WithSpan(SpanFrom(start));
+  }
+
+  Result<Expr> ParsePrimaryExprInner() {
     if (CheckKeyword("project")) return ParseProject();
     if (CheckKeyword("select")) return ParseSelect();
     if (CheckKeyword("rename")) return ParseRename();
@@ -824,6 +872,10 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  // ErrorAt is const (callable from const helpers), so the structured copy
+  // of the last error is recorded through mutable state.
+  mutable Diagnostic last_error_;
+  mutable bool has_error_ = false;
 };
 
 }  // namespace
@@ -831,6 +883,52 @@ class Parser {
 Result<Program> ParseProgram(std::string_view source) {
   TTRA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   return Parser(std::move(tokens)).ParseProgram();
+}
+
+namespace {
+
+/// Drops the trailing " at line L, column C" human suffix — the structured
+/// span carries the position instead.
+std::string StripPositionSuffix(std::string message) {
+  const size_t at = message.rfind(" at line ");
+  if (at != std::string::npos) message.erase(at);
+  return message;
+}
+
+}  // namespace
+
+Result<Program> ParseProgramDiag(std::string_view source, Diagnostic* diag) {
+  size_t error_line = 0;
+  size_t error_column = 0;
+  auto tokens = Tokenize(source, &error_line, &error_column);
+  if (!tokens.ok()) {
+    if (diag != nullptr) {
+      SourceSpan span;
+      if (error_line > 0) {
+        span = SourceSpan{{error_line, error_column},
+                          {error_line, error_column + 1}};
+      }
+      *diag = Diagnostic{
+          Severity::kError,
+          std::string(DiagnosticCodeForError(tokens.status().code())), span,
+          StripPositionSuffix(tokens.status().message()),
+          tokens.status().code()};
+    }
+    return tokens.status();
+  }
+  Parser parser(std::move(tokens).value());
+  auto program = parser.ParseProgram();
+  if (!program.ok() && diag != nullptr) {
+    if (parser.has_error()) {
+      *diag = parser.last_error();
+    } else {
+      *diag = Diagnostic{
+          Severity::kError,
+          std::string(DiagnosticCodeForError(program.status().code())),
+          SourceSpan{}, program.status().message(), program.status().code()};
+    }
+  }
+  return program;
 }
 
 Result<Stmt> ParseStmt(std::string_view source) {

@@ -15,6 +15,11 @@ namespace ttra::lang {
 /// Parses a full program (sentence): one or more ';'-separated statements.
 Result<Program> ParseProgram(std::string_view source);
 
+/// Like ParseProgram but, on failure, also fills `diag` (if non-null) with
+/// the structured diagnostic: severity, registry code, source span, and the
+/// message without the human "at line L, column C" suffix.
+Result<Program> ParseProgramDiag(std::string_view source, Diagnostic* diag);
+
 /// Parses a single statement (trailing ';' optional).
 Result<Stmt> ParseStmt(std::string_view source);
 

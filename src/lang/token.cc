@@ -113,6 +113,31 @@ std::string Token::Describe() const {
   }
 }
 
+size_t Token::Width() const {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return 0;
+    case TokenKind::kIdentifier:
+    case TokenKind::kKeyword:
+      return text.size();
+    case TokenKind::kStringLiteral:
+      return text.size() + 2;  // surrounding quotes (escapes approximated)
+    case TokenKind::kIntLiteral:
+      return std::to_string(int_value).size();
+    case TokenKind::kTimeLiteral:
+      return std::to_string(int_value).size() + 1;  // leading '@'
+    case TokenKind::kDoubleLiteral:
+      return std::to_string(double_value).size();  // approximate
+    case TokenKind::kArrow:
+    case TokenKind::kNe:
+    case TokenKind::kLe:
+    case TokenKind::kGe:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
 bool IsKeyword(std::string_view word) {
   for (std::string_view keyword : kKeywords) {
     if (word == keyword) return true;
@@ -173,10 +198,18 @@ class Lexer {
   }
 
   Status ErrorHere(std::string_view message) const {
+    error_line_ = line_;
+    error_column_ = column_;
     return ParseError(std::string(message) + " at line " +
                       std::to_string(line_) + ", column " +
                       std::to_string(column_));
   }
+
+ public:
+  size_t error_line() const { return error_line_; }
+  size_t error_column() const { return error_column_; }
+
+ private:
 
   Status LexOne(Token& token) {
     const char c = Peek();
@@ -392,12 +425,25 @@ class Lexer {
   size_t pos_ = 0;
   size_t line_ = 1;
   size_t column_ = 1;
+  mutable size_t error_line_ = 0;
+  mutable size_t error_column_ = 0;
 };
 
 }  // namespace
 
 Result<std::vector<Token>> Tokenize(std::string_view source) {
   return Lexer(source).Run();
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view source,
+                                    size_t* error_line, size_t* error_column) {
+  Lexer lexer(source);
+  auto tokens = lexer.Run();
+  if (!tokens.ok()) {
+    if (error_line != nullptr) *error_line = lexer.error_line();
+    if (error_column != nullptr) *error_column = lexer.error_column();
+  }
+  return tokens;
 }
 
 }  // namespace ttra::lang

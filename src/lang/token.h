@@ -52,6 +52,10 @@ struct Token {
   size_t column = 1;
 
   std::string Describe() const;
+
+  /// Width of the token's lexeme in source columns (best effort: string
+  /// literals report their unescaped payload length plus quotes).
+  size_t Width() const;
 };
 
 /// True for the language's reserved words (operator names, relation types,
@@ -60,6 +64,11 @@ bool IsKeyword(std::string_view word);
 
 /// Tokenizes a program. `--` starts a comment to end of line.
 Result<std::vector<Token>> Tokenize(std::string_view source);
+
+/// Like Tokenize but, on failure, also reports the error's 1-based source
+/// position for structured diagnostics.
+Result<std::vector<Token>> Tokenize(std::string_view source,
+                                    size_t* error_line, size_t* error_column);
 
 }  // namespace ttra::lang
 

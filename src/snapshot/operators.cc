@@ -125,7 +125,7 @@ Result<SnapshotState> Product(const SnapshotState& lhs,
     return SnapshotState::FromCanonical(*std::move(schema),
                                         std::move(combined));
   } else {
-    return InvalidArgumentError(
+    return SchemaMismatchError(
         "product requires attribute-name-disjoint schemas (rename first): " +
         schema.status().message());
   }
@@ -181,7 +181,7 @@ Result<SnapshotState> ThetaJoin(const SnapshotState& lhs,
   Result<Schema> concat = lhs.schema().Concat(rhs.schema());
   if (!concat.ok()) {
     // Same report as Product, so σ_F(E1 × E2) and its fused form agree.
-    return InvalidArgumentError(
+    return SchemaMismatchError(
         "product requires attribute-name-disjoint schemas (rename first): " +
         concat.status().message());
   }

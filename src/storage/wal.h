@@ -28,17 +28,17 @@ class WalWriter {
   WalWriter(Env* env, std::string path) : env_(env), path_(std::move(path)) {}
 
   /// Starts a fresh, durably-empty log, discarding any existing file.
-  Status Create();
+  [[nodiscard]] Status Create();
 
   /// Positions for appending to an existing log previously validated by
   /// ReadWal (the file must end at a record boundary).
-  Status OpenForAppend();
+  [[nodiscard]] Status OpenForAppend();
 
   /// Appends one framed record. NOT durable until Sync().
-  Status AddRecord(std::string_view payload);
+  [[nodiscard]] Status AddRecord(std::string_view payload);
 
   /// Durably flushes all appended records.
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   const std::string& path() const { return path_; }
 

@@ -13,7 +13,7 @@ namespace ttra {
 /// the library (the semantic functions E, C, P are made total by returning
 /// Result instead of being partial functions as in the paper).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: allows `return some_state;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -52,8 +52,11 @@ std::string_view ErrorCodeName(ErrorCode code);
 
 /// Result-of-an-operation carrier: either OK or an ErrorCode plus a
 /// human-readable message. Modeled on the Status idiom used by large C++
-/// database codebases; cheap to copy in the OK case.
-class Status {
+/// database codebases; cheap to copy in the OK case. [[nodiscard]]:
+/// silently dropping a Status hides failures (most dangerously a failed
+/// WAL append or sync acknowledged as committed), so every call site must
+/// consume or explicitly void-cast it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -1,0 +1,348 @@
+// Tests for the diagnostics engine: golden-file style checks of `ttra
+// check`'s human and JSON renderings, the TTRA-E/W code registry, span
+// placement, the collecting analyzer, and static/runtime parity (everything
+// the analyzer rejects, the evaluator rejects with the same code).
+
+#include <gtest/gtest.h>
+
+#include "lang/analyzer.h"
+#include "lang/check.h"
+#include "lang/diagnostics.h"
+#include "lang/evaluator.h"
+#include "lang/parser.h"
+
+namespace ttra::lang {
+namespace {
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(DiagnosticCodes, EveryErrorCodeHasARegistryEntry) {
+  for (ErrorCode code :
+       {ErrorCode::kUnknownIdentifier, ErrorCode::kAlreadyDefined,
+        ErrorCode::kSchemaMismatch, ErrorCode::kTypeMismatch,
+        ErrorCode::kInvalidRollback, ErrorCode::kParseError,
+        ErrorCode::kCorruption, ErrorCode::kInvalidArgument,
+        ErrorCode::kInternal, ErrorCode::kIoError, ErrorCode::kUnavailable}) {
+    const std::string_view diag_code = DiagnosticCodeForError(code);
+    EXPECT_TRUE(diag_code.rfind("TTRA-E0", 0) == 0) << diag_code;
+    EXPECT_FALSE(DiagnosticCodeSummary(diag_code).empty()) << diag_code;
+  }
+  EXPECT_EQ(DiagnosticCodeForError(ErrorCode::kOk), "");
+  for (std::string_view warn :
+       {kWarnUseBeforeDefine, kWarnKindNeverMatches, kWarnRollbackInFuture,
+        kWarnUnusedRelation, kWarnUnreachableStmt}) {
+    EXPECT_FALSE(DiagnosticCodeSummary(warn).empty()) << warn;
+  }
+}
+
+TEST(DiagnosticSinkTest, CountsAndFirstError) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(sink.has_errors());
+  EXPECT_TRUE(sink.FirstError().ok());
+  sink.AddWarning(kWarnUnusedRelation, {}, "w");
+  sink.AddError(TypeMismatchError("first"), {});
+  sink.AddError(SchemaMismatchError("second"), {});
+  EXPECT_EQ(sink.error_count(), 2u);
+  EXPECT_EQ(sink.warning_count(), 1u);
+  const Status first = sink.FirstError();
+  EXPECT_EQ(first.code(), ErrorCode::kTypeMismatch);
+  EXPECT_EQ(first.message(), "first");
+}
+
+// --- Status span bridging ---------------------------------------------------
+
+TEST(StatusSpanTest, WithSpanPrefixesOnceInnermostWins) {
+  const SourceSpan span{{3, 14}, {3, 20}};
+  Status tagged = WithSpan(TypeMismatchError("boom"), span);
+  EXPECT_EQ(tagged.message(), "3:14: boom");
+  EXPECT_TRUE(StatusHasSpan(tagged));
+  // Re-tagging with an outer span keeps the inner position.
+  Status retagged = WithSpan(std::move(tagged), SourceSpan{{1, 1}, {1, 2}});
+  EXPECT_EQ(retagged.message(), "3:14: boom");
+  // OK statuses and invalid spans pass through untouched.
+  EXPECT_TRUE(WithSpan(Status::Ok(), span).ok());
+  EXPECT_EQ(WithSpan(TypeMismatchError("x"), SourceSpan{}).message(), "x");
+  EXPECT_FALSE(StatusHasSpan(TypeMismatchError("plain")));
+  EXPECT_FALSE(StatusHasSpan(TypeMismatchError("10 users: gone")));
+}
+
+// --- Golden renderings ------------------------------------------------------
+
+constexpr std::string_view kMultiErrorSource =
+    "show(rho(ghost, inf));\n"
+    "define_relation(emp, rollback, (name: string));\n"
+    "modify_state(emp, (name: int) {(1)})";
+
+TEST(CheckGolden, HumanReadableMultiError) {
+  const DiagnosticSink sink = CheckSource(kMultiErrorSource);
+  EXPECT_EQ(FormatDiagnostics(sink.diagnostics(), "prog.ttra"),
+            "prog.ttra:1:6: error[TTRA-E001]: rollback of undefined relation: "
+            "ghost\n"
+            "prog.ttra:2:1: warning[TTRA-W005]: unreachable: strict execution "
+            "stops at the first failing command (statement 1)\n"
+            "prog.ttra:3:19: error[TTRA-E003]: modify_state expression schema "
+            "(name: int) does not match relation schema (name: string)\n"
+            "prog.ttra: 2 error(s), 1 warning(s)\n");
+}
+
+TEST(CheckGolden, JsonMultiError) {
+  const DiagnosticSink sink = CheckSource(kMultiErrorSource);
+  EXPECT_EQ(
+      DiagnosticsToJson(sink.diagnostics(), "prog.ttra"),
+      "{\n"
+      "  \"file\": \"prog.ttra\",\n"
+      "  \"errors\": 2,\n"
+      "  \"warnings\": 1,\n"
+      "  \"diagnostics\": [\n"
+      "    {\"severity\": \"error\", \"code\": \"TTRA-E001\", \"line\": 1, "
+      "\"column\": 6, \"endLine\": 1, \"endColumn\": 21, \"message\": "
+      "\"rollback of undefined relation: ghost\"},\n"
+      "    {\"severity\": \"warning\", \"code\": \"TTRA-W005\", \"line\": 2, "
+      "\"column\": 1, \"endLine\": 2, \"endColumn\": 47, \"message\": "
+      "\"unreachable: strict execution stops at the first failing command "
+      "(statement 1)\"},\n"
+      "    {\"severity\": \"error\", \"code\": \"TTRA-E003\", \"line\": 3, "
+      "\"column\": 19, \"endLine\": 3, \"endColumn\": 36, \"message\": "
+      "\"modify_state expression schema (name: int) does not match relation "
+      "schema (name: string)\"}\n"
+      "  ]\n"
+      "}\n");
+}
+
+TEST(CheckGolden, CleanProgramSaysOk) {
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(r, snapshot, (x: int));\n"
+      "modify_state(r, (x: int) {(1)});\n"
+      "show(rho(r, inf))");
+  EXPECT_EQ(sink.error_count(), 0u);
+  EXPECT_EQ(sink.warning_count(), 0u);
+  EXPECT_EQ(FormatDiagnostics(sink.diagnostics(), "clean.ttra"),
+            "clean.ttra: ok\n");
+  EXPECT_EQ(DiagnosticsToJson(sink.diagnostics(), "clean.ttra"),
+            "{\n"
+            "  \"file\": \"clean.ttra\",\n"
+            "  \"errors\": 0,\n"
+            "  \"warnings\": 0,\n"
+            "  \"diagnostics\": []\n"
+            "}\n");
+}
+
+TEST(CheckGolden, ParseErrorCarriesTokenSpan) {
+  const DiagnosticSink sink = CheckSource("define_relation(r snapshot)");
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_EQ(d.code, "TTRA-E006");
+  EXPECT_EQ(d.error, ErrorCode::kParseError);
+  EXPECT_EQ(d.span.begin, (SourcePos{1, 19}));  // the unexpected 'snapshot'
+  EXPECT_EQ(d.span.end, (SourcePos{1, 27}));
+  EXPECT_EQ(d.message, "expected ',', found keyword 'snapshot'");
+}
+
+TEST(CheckGolden, LexerErrorCarriesPosition) {
+  const DiagnosticSink sink = CheckSource("show(rho(r, inf));\n  ?");
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_EQ(d.code, "TTRA-E006");
+  EXPECT_EQ(d.span.begin.line, 2u);
+  EXPECT_EQ(d.span.begin.column, 3u);
+}
+
+// --- Warnings ---------------------------------------------------------------
+
+TEST(CheckWarnings, UseBeforeDefineW001) {
+  const DiagnosticSink sink = CheckSource(
+      "show(rho(emp, inf));\n"
+      "define_relation(emp, rollback, (x: int));\n"
+      "modify_state(emp, (x: int) {(1)})");
+  ASSERT_EQ(sink.error_count(), 1u);  // still an error at statement 1
+  bool found = false;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == kWarnUseBeforeDefine) {
+      found = true;
+      EXPECT_EQ(d.span.begin.line, 1u);
+      EXPECT_EQ(d.message,
+                "relation 'emp' is used here but only defined by statement 2");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CheckWarnings, KindNeverMatchesW002) {
+  // The expression has an error (bad rollback target) so its type is
+  // unknown, but hrho pins its kind to historical — which a rollback
+  // relation can never accept.
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(emp, rollback, (x: int));\n"
+      "modify_state(emp, hrho(ghost, inf))");
+  bool found = false;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == kWarnKindNeverMatches) {
+      found = true;
+      EXPECT_EQ(d.span.begin.line, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(sink.error_count(), 1u);  // the undefined 'ghost'
+}
+
+TEST(CheckWarnings, RollbackInFutureW003) {
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(emp, rollback, (x: int));\n"
+      "show(rho(emp, 99))");
+  EXPECT_EQ(sink.error_count(), 0u);
+  bool found = false;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == kWarnRollbackInFuture) {
+      found = true;
+      EXPECT_EQ(d.span.begin, (SourcePos{2, 6}));
+      EXPECT_EQ(d.message,
+                "rollback to transaction 99, but at most 1 transactions can "
+                "have committed when this statement runs");
+    }
+  }
+  EXPECT_TRUE(found);
+  // A reachable transaction number does not warn.
+  const DiagnosticSink quiet = CheckSource(
+      "define_relation(emp, rollback, (x: int));\n"
+      "show(rho(emp, 1))");
+  for (const Diagnostic& d : quiet.diagnostics()) {
+    EXPECT_NE(d.code, kWarnRollbackInFuture);
+  }
+}
+
+TEST(CheckWarnings, UnusedRelationW004) {
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(used, snapshot, (x: int));\n"
+      "define_relation(idle, snapshot, (x: int));\n"
+      "modify_state(used, (x: int) {(1)})");
+  EXPECT_EQ(sink.error_count(), 0u);
+  ASSERT_EQ(sink.warning_count(), 1u);
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_EQ(d.code, kWarnUnusedRelation);
+  EXPECT_EQ(d.span.begin.line, 2u);
+  EXPECT_EQ(d.message, "relation 'idle' is defined but never used");
+}
+
+TEST(CheckWarnings, UnreachableStmtW005OnlyOnce) {
+  const DiagnosticSink sink = CheckSource(
+      "delete_relation(ghost);\n"
+      "show(rho(ghost, inf));\n"
+      "show(rho(ghost, inf))");
+  size_t unreachable = 0;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == kWarnUnreachableStmt) {
+      ++unreachable;
+      EXPECT_EQ(d.span.begin.line, 2u);  // only the first dead statement
+    }
+  }
+  EXPECT_EQ(unreachable, 1u);
+}
+
+// --- Collecting behavior ----------------------------------------------------
+
+TEST(CheckCollects, BothOperandsOfABinaryError) {
+  const DiagnosticSink sink = CheckSource("show(rho(a, inf) union rho(b, inf))");
+  // Both undefined operands are reported, not just the left one.
+  EXPECT_EQ(sink.error_count(), 2u);
+}
+
+TEST(CheckCollects, EveryStatementIsChecked) {
+  const DiagnosticSink sink = CheckSource(
+      "delete_relation(a);\n"
+      "delete_relation(b);\n"
+      "delete_relation(c)");
+  EXPECT_EQ(sink.error_count(), 3u);
+}
+
+TEST(CheckCollects, AnalyzeProgramStillReturnsFirstError) {
+  auto program = ParseProgram(
+      "delete_relation(a);\n"
+      "delete_relation(b)");
+  ASSERT_TRUE(program.ok());
+  const Status status = AnalyzeProgram(*program, Catalog());
+  EXPECT_EQ(status.code(), ErrorCode::kUnknownIdentifier);
+  EXPECT_EQ(status.message(), "delete_relation of undefined relation: a");
+}
+
+// --- Static/runtime parity --------------------------------------------------
+
+/// The analyzer and the evaluator must agree: a program the static checker
+/// rejects with code X also fails execution with code X (on a database with
+/// the same catalog), and a clean program executes.
+void ExpectParity(std::string_view setup, std::string_view offending,
+                  ErrorCode code) {
+  auto db = EvalSentence(setup);
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  auto program = ParseProgram(offending);
+  ASSERT_TRUE(program.ok()) << program.status();
+  const Status analyzed = AnalyzeProgram(*program, Catalog(*db));
+  EXPECT_EQ(analyzed.code(), code) << analyzed;
+
+  const Status executed = ExecProgram(*program, *db);
+  EXPECT_EQ(executed.code(), code) << executed;
+}
+
+TEST(ParityTest, UndefinedRelation) {
+  ExpectParity("define_relation(emp, rollback, (x: int))",
+               "show(rho(ghost, inf))", ErrorCode::kUnknownIdentifier);
+}
+
+TEST(ParityTest, SchemaMismatch) {
+  ExpectParity("define_relation(emp, rollback, (x: int))",
+               "modify_state(emp, (y: int) {(1)})",
+               ErrorCode::kSchemaMismatch);
+}
+
+TEST(ParityTest, KindMismatch) {
+  ExpectParity(
+      "define_relation(emp, rollback, (x: int))",
+      "modify_state(emp, historical (x: int) {(1) @ [0, 5)})",
+      ErrorCode::kTypeMismatch);
+}
+
+TEST(ParityTest, MixedKindUnion) {
+  ExpectParity("define_relation(emp, rollback, (x: int));"
+               "define_relation(hist, temporal, (x: int))",
+               "show(rho(emp, inf) union hrho(hist, inf))",
+               ErrorCode::kTypeMismatch);
+}
+
+TEST(ParityTest, NonDisjointProduct) {
+  ExpectParity("define_relation(a, snapshot, (x: int));"
+               "define_relation(b, snapshot, (x: int))",
+               "show(rho(a, inf) times rho(b, inf))",
+               ErrorCode::kSchemaMismatch);
+}
+
+TEST(ParityTest, InvalidRollbackKind) {
+  ExpectParity("define_relation(emp, snapshot, (x: int))",
+               "show(rho(emp, 3))", ErrorCode::kInvalidRollback);
+}
+
+// --- Runtime spans ----------------------------------------------------------
+
+TEST(RuntimeSpanTest, ExecutionErrorsCarryPositions) {
+  Database db;
+  const Status status = ttra::lang::Run(
+      "define_relation(emp, rollback, (x: int));\n"
+      "show(rho(emp, inf) union\n"
+      "     hrho(emp, inf))",
+      db);
+  ASSERT_FALSE(status.ok());
+  // The innermost failing construct is the hrho on line 3.
+  EXPECT_EQ(status.message().substr(0, 5), "3:6: ");
+  EXPECT_TRUE(StatusHasSpan(status));
+}
+
+TEST(RuntimeSpanTest, HandBuiltTreesStayPositionFree) {
+  Database db;
+  const Status status =
+      ExecStmt(ShowStmt{Expr::Rollback("ghost", std::nullopt, false)}, db);
+  ASSERT_FALSE(status.ok());
+  EXPECT_FALSE(StatusHasSpan(status));
+  EXPECT_EQ(status.message(), "rollback of undefined relation: ghost");
+}
+
+}  // namespace
+}  // namespace ttra::lang

@@ -319,5 +319,78 @@ TEST(RoundTripTest, StatementsRoundTrip) {
   }
 }
 
+// --- Source spans -------------------------------------------------------------
+
+TEST(SpanTest, StatementsCoverTheirSource) {
+  auto program = ParseProgram(
+      "define_relation(emp, rollback, (n: int));\n"
+      "show(rho(emp, inf))");
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->size(), 2u);
+  EXPECT_EQ(StmtSpan((*program)[0]).begin, (SourcePos{1, 1}));
+  EXPECT_EQ(StmtSpan((*program)[0]).end, (SourcePos{1, 41}));
+  EXPECT_EQ(StmtSpan((*program)[1]).begin, (SourcePos{2, 1}));
+  EXPECT_EQ(StmtSpan((*program)[1]).end, (SourcePos{2, 20}));
+}
+
+TEST(SpanTest, ExpressionsCarryNestedSpans) {
+  auto stmt = ParseStmt("show(rho(a, inf) union rho(b, 7))");
+  ASSERT_TRUE(stmt.ok());
+  const Expr* expr = StmtExpr(*stmt);
+  ASSERT_NE(expr, nullptr);
+  ASSERT_EQ(expr->kind(), Expr::Kind::kBinary);
+  // The union node spans both operands; each operand points at itself.
+  EXPECT_EQ(expr->span().begin, (SourcePos{1, 6}));
+  EXPECT_EQ(expr->span().end, (SourcePos{1, 33}));
+  EXPECT_EQ(expr->left().span().begin, (SourcePos{1, 6}));
+  EXPECT_EQ(expr->left().span().end, (SourcePos{1, 17}));
+  EXPECT_EQ(expr->right().span().begin, (SourcePos{1, 24}));
+  EXPECT_EQ(expr->right().span().end, (SourcePos{1, 33}));
+}
+
+TEST(SpanTest, SpansSurviveMultiLineStatements) {
+  auto stmt = ParseStmt(
+      "show(project[n](\n"
+      "  select[n > 3](rho(r, inf))))");
+  ASSERT_TRUE(stmt.ok());
+  const Expr* expr = StmtExpr(*stmt);
+  ASSERT_NE(expr, nullptr);
+  EXPECT_EQ(expr->span().begin, (SourcePos{1, 6}));
+  EXPECT_EQ(expr->span().end.line, 2u);
+  EXPECT_EQ(expr->left().span().begin, (SourcePos{2, 3}));
+}
+
+TEST(SpanTest, EqualityAndPrintingIgnoreSpans) {
+  auto parsed = ParseStmt("show(rho(emp, inf))");
+  ASSERT_TRUE(parsed.ok());
+  const Stmt built = ShowStmt{Expr::Rollback("emp", std::nullopt, false)};
+  // Same tree modulo spans: equal, and prints identically.
+  EXPECT_EQ(*parsed, built);
+  EXPECT_EQ(StmtToString(*parsed), StmtToString(built));
+  // But the parsed one has positions while the built one does not.
+  EXPECT_TRUE(StmtSpan(*parsed).valid());
+  EXPECT_FALSE(StmtSpan(built).valid());
+  EXPECT_FALSE(StmtExpr(built)->span().valid());
+}
+
+TEST(SpanTest, TokensRecordPositionsAndWidths) {
+  auto tokens = Lex("rho(emp,\n  42)");
+  ASSERT_EQ(tokens.size(), 7u);  // rho ( emp , 42 ) end
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].column, 1u);
+  EXPECT_EQ(tokens[0].Width(), 3u);
+  EXPECT_EQ(tokens[4].line, 2u);
+  EXPECT_EQ(tokens[4].column, 3u);
+  EXPECT_EQ(tokens[4].Width(), 2u);
+}
+
+TEST(SpanTest, TokenizeReportsErrorPosition) {
+  size_t line = 0, column = 0;
+  auto tokens = Tokenize("rho(emp,\n   ?)", &line, &column);
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(line, 2u);
+  EXPECT_EQ(column, 4u);
+}
+
 }  // namespace
 }  // namespace ttra::lang

@@ -125,7 +125,9 @@ TEST_P(EngineTest, RepeatedFindStateIsStableAndCached) {
       auto a = cached->StateAt(probe);
       auto b = uncached->StateAt(probe);
       ASSERT_EQ(a != nullptr, b != nullptr) << "txn " << probe;
-      if (a != nullptr) EXPECT_EQ(*a, *b) << "txn " << probe;
+      if (a != nullptr) {
+        EXPECT_EQ(*a, *b) << "txn " << probe;
+      }
     }
   }
   // Repeated probes of the same transaction share one reconstruction.

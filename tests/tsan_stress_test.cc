@@ -1,0 +1,226 @@
+// Multi-threaded stress tests for the documented concurrency contracts:
+//
+//  * FindStateCache is thread-safe on its own (readers probe one relation
+//    log concurrently while SerialExecutor holds only a shared lock);
+//  * SerialExecutor serializes writers and runs readers concurrently, so
+//    StateLog::StateAt (replay + cache fill) races only against other
+//    readers, never against Append;
+//  * states are copy-on-write — Snapshot()/Clone() hand immutable reps to
+//    other threads, which evaluate operators on them concurrently.
+//
+// The assertions are deliberately light: these tests earn their keep under
+// ThreadSanitizer (cmake -DTTRA_SANITIZE=thread; tools/check.sh --tsan),
+// where any data race in the cache, the replay engines, or the shared-rep
+// refcounting is a hard failure. They still run (fast) unsanitized.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lang/evaluator.h"
+#include "lang/parser.h"
+#include "rollback/serial_executor.h"
+#include "snapshot/operators.h"
+#include "storage/logs.h"
+
+namespace ttra {
+namespace {
+
+constexpr int kReaderThreads = 4;
+constexpr int kWriterCommits = 64;
+
+Schema StressSchema() {
+  return *Schema::Make({{"id", ValueType::kInt}, {"v", ValueType::kInt}});
+}
+
+SnapshotState StateOfSize(size_t n) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Tuple{Value::Int(static_cast<int64_t>(i)),
+                         Value::Int(static_cast<int64_t>(i * i))});
+  }
+  return *SnapshotState::Make(StressSchema(), std::move(rows));
+}
+
+TEST(TsanStressTest, FindStateCacheConcurrentProbesAndFills) {
+  const FindStateCache<SnapshotState> cache(/*capacity=*/4);
+  auto shared = std::make_shared<const SnapshotState>(StateOfSize(3));
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaderThreads + 1);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&cache, &shared, &mismatches, t] {
+      for (int i = 0; i < 500; ++i) {
+        const size_t index = static_cast<size_t>((t * 31 + i) % 8);
+        cache.Put(index, shared);
+        if (auto hit = cache.Get(index); hit && hit->size() != 3) {
+          mismatches.fetch_add(1);
+        }
+        if (auto floor = cache.Floor(index);
+            floor && floor->second->size() != 3) {
+          mismatches.fetch_add(1);
+        }
+        if (auto ceil = cache.Ceil(index); ceil && ceil->second->size() != 3) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  // One thread keeps invalidating, as Append/ReplaceLast would.
+  threads.emplace_back([&cache] {
+    for (int i = 0; i < 500; ++i) cache.Clear();
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+/// One serialized writer appends states while readers replay historical
+/// states through the engine's FindStateCache. Run for every storage
+/// engine: full-copy shares entries directly; delta/checkpoint/
+/// reverse-delta replay and fill the cache concurrently.
+void HammerStateLog(StorageKind storage) {
+  SerialExecutor exec(DatabaseOptions{.storage = storage,
+                                      .checkpoint_interval = 4,
+                                      .findstate_cache_capacity = 4});
+  ASSERT_TRUE(exec.Submit([](Database& db) {
+                    return db.DefineRelation("r", RelationType::kRollback,
+                                             StressSchema());
+                  })
+                  .ok());
+
+  // First commit lands before the readers start, so every probe has a
+  // committed modify_state to aim at. Each reader then performs a FIXED
+  // number of probes (rather than spinning until the writer finishes):
+  // the shared_mutex has no fairness guarantee, and under the delta
+  // engines replaying readers can otherwise starve the writer forever.
+  ASSERT_TRUE(
+      exec.Submit([](Database& db) { return db.ModifyState("r", StateOfSize(1)); })
+          .ok());
+
+  std::atomic<int> reader_errors{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaderThreads);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&exec, &reader_errors, t] {
+      uint64_t salt = static_cast<uint64_t>(t) + 1;
+      for (int i = 0; i < 200; ++i) {
+        const TransactionNumber now = exec.transaction_number();
+        // Pseudo-random committed transaction in [2, now]: modify_state
+        // commits start at txn 2, and commit c leaves c tuples... so the
+        // state as of txn has txn - 1 tuples.
+        salt = salt * 6364136223846793005u + 1442695040888963407u;
+        const TransactionNumber txn = 2 + (salt >> 33) % (now - 1);
+        auto state = exec.Rollback("r", txn);
+        if (!state.ok() || state->size() != txn - 1) {
+          reader_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (int commit = 2; commit <= kWriterCommits; ++commit) {
+    ASSERT_TRUE(exec.Submit([commit](Database& db) {
+                      return db.ModifyState(
+                          "r", StateOfSize(static_cast<size_t>(commit)));
+                    })
+                    .ok());
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(exec.transaction_number(),
+            static_cast<TransactionNumber>(kWriterCommits + 1));
+}
+
+TEST(TsanStressTest, StateLogReadersVsWriterFullCopy) {
+  HammerStateLog(StorageKind::kFullCopy);
+}
+TEST(TsanStressTest, StateLogReadersVsWriterDelta) {
+  HammerStateLog(StorageKind::kDelta);
+}
+TEST(TsanStressTest, StateLogReadersVsWriterCheckpoint) {
+  HammerStateLog(StorageKind::kCheckpoint);
+}
+TEST(TsanStressTest, StateLogReadersVsWriterReverseDelta) {
+  HammerStateLog(StorageKind::kReverseDelta);
+}
+
+TEST(TsanStressTest, CowStatesSharedAcrossThreads) {
+  SerialExecutor exec;
+  ASSERT_TRUE(exec.Submit([](Database& db) {
+                    TTRA_RETURN_IF_ERROR(db.DefineRelation(
+                        "r", RelationType::kRollback, StressSchema()));
+                    return db.ModifyState("r", StateOfSize(32));
+                  })
+                  .ok());
+  // Every thread gets its own Database copy, but all copies share the same
+  // immutable state reps; operator evaluation touches them concurrently.
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaderThreads);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([db = exec.Snapshot(), &errors] {
+      for (int i = 0; i < 100; ++i) {
+        auto state = db.Rollback("r");
+        if (!state.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        auto doubled = snapshot_ops::Union(*state, *state);
+        auto projected = snapshot_ops::Project(*state, {"id"});
+        if (!doubled.ok() || doubled->size() != 32 || !projected.ok() ||
+            projected->size() != 32) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(TsanStressTest, LanguageEvalOnSharedSnapshots) {
+  SerialExecutor exec;
+  ASSERT_TRUE(exec.Submit([](Database& db) {
+                    return lang::Run(R"(
+      define_relation(emp, rollback, (name: string, salary: int));
+      modify_state(emp, (name: string, salary: int)
+                        {("ed", 100), ("amy", 120), ("bob", 90)});
+    )",
+                                     db);
+                  })
+                  .ok());
+  auto program = lang::ParseProgram(
+      "show(project[name](select[salary > 95](rho(emp, inf))))");
+  ASSERT_TRUE(program.ok());
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaderThreads);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&exec, &program, &errors] {
+      for (int i = 0; i < 100; ++i) {
+        // Readers share the executor (shared lock) AND the parsed AST,
+        // whose nodes are shared_ptr-counted across threads.
+        Status status = exec.Read([&](const Database& db) {
+          std::vector<lang::StateValue> outputs;
+          Database view = db.Clone();  // clones share immutable state reps
+          TTRA_RETURN_IF_ERROR(
+              lang::ExecProgram(*program, view, &outputs));
+          if (outputs.size() != 1 ||
+              std::get<SnapshotState>(outputs[0]).size() != 2) {
+            return InternalError("wrong query result");
+          }
+          return Status::Ok();
+        });
+        if (!status.ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace ttra

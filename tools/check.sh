@@ -1,38 +1,77 @@
 #!/bin/sh
-# Full local gate: build + test normally, then again under ASan/UBSan,
-# then a Release-mode bench smoke that refreshes BENCH_*.json.
+# Local gate: build + test in several configurations. Passes can be run
+# independently or all together.
 #
-#   tools/check.sh            # all passes
+#   tools/check.sh            # all passes: normal, ASan/UBSan, TSan, tidy, bench
 #   tools/check.sh --fast     # normal pass only (no sanitizers, no bench)
+#   tools/check.sh --tsan     # ThreadSanitizer pass only (race gate)
+#   tools/check.sh --tidy     # clang-tidy pass only (skips if not installed)
 #
 # Run from the repository root. Build trees go to build/ (normal),
-# build-san/ (sanitized), and build-release/ (bench smoke) so the three
-# configurations never collide.
+# build-san/ (ASan/UBSan), build-tsan/ (TSan), and build-release/ (bench
+# smoke) so the configurations never collide.
 set -eu
 
 jobs=$(nproc 2>/dev/null || echo 4)
-fast=0
-[ "${1:-}" = "--fast" ] && fast=1
+
+do_normal=0
+do_asan=0
+do_tsan=0
+do_tidy=0
+do_bench=0
+case "${1:-}" in
+  "")      do_normal=1 do_asan=1 do_tsan=1 do_tidy=1 do_bench=1 ;;
+  --fast)  do_normal=1 ;;
+  --tsan)  do_tsan=1 ;;
+  --tidy)  do_tidy=1 ;;
+  *) echo "usage: tools/check.sh [--fast|--tsan|--tidy]" >&2; exit 2 ;;
+esac
 
 run_pass() {
   dir=$1
   shift
   echo "== configure $dir ($*)"
-  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake -B "$dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" >/dev/null
   echo "== build $dir"
   cmake --build "$dir" -j "$jobs"
   echo "== test $dir"
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
-run_pass build
+if [ "$do_normal" -eq 1 ]; then
+  run_pass build
+fi
 
-if [ "$fast" -eq 0 ]; then
+if [ "$do_asan" -eq 1 ]; then
   # Leak detection needs ptrace; fall back gracefully inside containers.
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
   run_pass build-san "-DTTRA_SANITIZE=address;undefined"
+fi
 
+if [ "$do_tsan" -eq 1 ]; then
+  # Race gate: the whole suite builds under TSan, but only the
+  # multi-threaded binaries are worth the (heavy) instrumented run time.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  run_pass build-tsan -DTTRA_SANITIZE=thread \
+    || { echo "== TSan gate FAILED"; exit 1; }
+fi
+
+if [ "$do_tidy" -eq 1 ]; then
+  # Lint gate: needs clang-tidy plus a compile database (exported by the
+  # normal pass). Opt-in by toolchain: skip, loudly, when not installed.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    [ -f build/compile_commands.json ] || \
+      cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    echo "== clang-tidy (config: .clang-tidy)"
+    find src tools -name '*.cc' -o -name '*.cpp' | \
+      xargs clang-tidy -p build --quiet --warnings-as-errors='*'
+  else
+    echo "== clang-tidy not installed; skipping lint pass"
+  fi
+fi
+
+if [ "$do_bench" -eq 1 ]; then
   # Release bench smoke (experiment E12): exercises the hash-join and
   # FINDSTATE-cache fast paths under optimization and records the results
   # next to the sources for EXPERIMENTS.md.
@@ -51,4 +90,4 @@ if [ "$fast" -eq 0 ]; then
     --benchmark_out=BENCH_rollback.json --benchmark_out_format=json
 fi
 
-echo "== all checks passed"
+echo "== all requested checks passed"

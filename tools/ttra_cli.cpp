@@ -2,10 +2,16 @@
 //
 //   ttra run <script> [--db <file>] [--save <file>] [--lax] [--optimize]
 //                     [--explain] [--wal-dir <dir>] [--fresh] [--recover]
+//   ttra check <script> [--json]
 //   ttra describe --db <file>
 //   ttra vacuum --db <file> --relation <name> --before <txn>
 //               [--archive <file>] [--save <file>]
 //   ttra recover --wal-dir <dir> [--save <file>]
+//
+// `check` runs the static diagnostics engine without executing anything:
+// every error and warning in the script is reported with its source span
+// and registry code (human-readable by default, machine-readable with
+// --json). Exits 1 iff the script has errors; warnings alone exit 0.
 //
 // `run` executes a script of language statements against an empty database
 // or one loaded with --db, printing every show() result; --save persists
@@ -29,6 +35,7 @@
 #include <vector>
 
 #include "lang/analyzer.h"
+#include "lang/check.h"
 #include "lang/evaluator.h"
 #include "lang/parser.h"
 #include "lang/printer.h"
@@ -55,6 +62,7 @@ struct Flags {
   bool explain = false;
   bool fresh = false;
   bool recover = false;
+  bool json = false;
 };
 
 bool ParseFlags(int argc, char** argv, Flags& flags) {
@@ -70,6 +78,8 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
       flags.fresh = true;
     } else if (arg == "--recover") {
       flags.recover = true;
+    } else if (arg == "--json") {
+      flags.json = true;
     } else if (arg.rfind("--", 0) == 0) {
       if (i + 1 >= argc) {
         std::cerr << "ttra: flag " << arg << " needs a value\n";
@@ -111,16 +121,6 @@ lang::Stmt OptimizeStmt(const lang::Stmt& stmt, const lang::Catalog& catalog) {
     return lang::ShowStmt{optimizer::Optimize(s.expr, catalog)};
   }
   return stmt;
-}
-
-const lang::Expr* StmtExpr(const lang::Stmt& stmt) {
-  if (std::holds_alternative<lang::ModifyStateStmt>(stmt)) {
-    return &std::get<lang::ModifyStateStmt>(stmt).expr;
-  }
-  if (std::holds_alternative<lang::ShowStmt>(stmt)) {
-    return &std::get<lang::ShowStmt>(stmt).expr;
-  }
-  return nullptr;
 }
 
 /// Translates a non-show language statement into the algebra's command
@@ -259,6 +259,24 @@ int CmdRun(const Flags& flags) {
   return SaveIfRequested(*db, flags);
 }
 
+int CmdCheck(const Flags& flags) {
+  if (flags.positional.size() != 2) {
+    return Fail("usage: ttra check <script> [--json]");
+  }
+  const std::string& path = flags.positional[1];
+  std::ifstream in(path);
+  if (!in) return Fail("cannot open script: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const lang::DiagnosticSink sink = lang::CheckSource(buffer.str());
+  if (flags.json) {
+    std::cout << lang::DiagnosticsToJson(sink.diagnostics(), path);
+  } else {
+    std::cout << lang::FormatDiagnostics(sink.diagnostics(), path);
+  }
+  return sink.has_errors() ? 1 : 0;
+}
+
 int CmdDescribe(const Flags& flags) {
   auto db = LoadOrEmpty(flags);
   if (!db.ok()) return Fail("load failed: " + db.status().ToString());
@@ -317,10 +335,11 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, flags)) return 1;
   if (flags.positional.empty()) {
-    return Fail("usage: ttra <run|describe|vacuum|recover> ...");
+    return Fail("usage: ttra <run|check|describe|vacuum|recover> ...");
   }
   const std::string& command = flags.positional[0];
   if (command == "run") return CmdRun(flags);
+  if (command == "check") return CmdCheck(flags);
   if (command == "describe") return CmdDescribe(flags);
   if (command == "vacuum") return CmdVacuum(flags);
   if (command == "recover") return CmdRecover(flags);
