@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "snapshot/join_common.h"
+
 namespace ttra::historical_ops {
 
 namespace {
@@ -19,59 +21,12 @@ Status RequireUnionCompatible(const HistoricalState& lhs,
   return Status::Ok();
 }
 
-// Splits a predicate into its top-level AND conjuncts.
-void CollectConjuncts(const Predicate& p, std::vector<Predicate>& out) {
-  if (p.kind() == Predicate::Kind::kAnd) {
-    CollectConjuncts(p.left(), out);
-    CollectConjuncts(p.right(), out);
-  } else {
-    out.push_back(p);
-  }
-}
-
-// An attr = attr conjunct usable as a hash-join key (see the snapshot
-// kernel): sides resolve in opposite schemes with identical types.
-struct EquiPair {
-  size_t lhs_index;
-  size_t rhs_index;
-};
-
-std::optional<EquiPair> AsEquiPair(const Predicate& p, const Schema& lhs,
-                                   const Schema& rhs) {
-  if (p.kind() != Predicate::Kind::kComparison || p.op() != CompareOp::kEq ||
-      !p.lhs().is_attr() || !p.rhs().is_attr()) {
-    return std::nullopt;
-  }
-  const std::string& a = p.lhs().attr_name();
-  const std::string& b = p.rhs().attr_name();
-  if (auto li = lhs.IndexOf(a)) {
-    auto rj = rhs.IndexOf(b);
-    if (rj && lhs.attribute(*li).type == rhs.attribute(*rj).type) {
-      return EquiPair{*li, *rj};
-    }
-    return std::nullopt;
-  }
-  if (auto li = lhs.IndexOf(b)) {
-    auto rj = rhs.IndexOf(a);
-    if (rj && lhs.attribute(*li).type == rhs.attribute(*rj).type) {
-      return EquiPair{*li, *rj};
-    }
-  }
-  return std::nullopt;
-}
-
-Tuple KeyOf(const Tuple& t, const std::vector<size_t>& indices) {
-  std::vector<Value> values;
-  values.reserve(indices.size());
-  for (size_t i : indices) values.push_back(t.at(i));
-  return Tuple(std::move(values));
-}
-
-Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
-  std::vector<Value> values = a.values();
-  values.insert(values.end(), b.values().begin(), b.values().end());
-  return Tuple(std::move(values));
-}
+// The predicate decomposition and key/concat helpers are shared with the
+// snapshot join kernel (snapshot/join_common.h).
+using snapshot_ops::ConcatTuples;
+using snapshot_ops::EquiJoinSplit;
+using snapshot_ops::JoinKeyOf;
+using snapshot_ops::SplitEquiJoin;
 
 }  // namespace
 
@@ -193,19 +148,12 @@ Result<HistoricalState> ThetaJoin(const HistoricalState& lhs,
   Schema schema = *std::move(concat);
   TTRA_RETURN_IF_ERROR(predicate.Validate(schema));
 
-  std::vector<Predicate> conjuncts;
-  CollectConjuncts(predicate, conjuncts);
-  std::vector<size_t> lhs_keys, rhs_keys;
-  Predicate residual = Predicate::True();
-  for (const Predicate& c : conjuncts) {
-    if (auto pair = AsEquiPair(c, lhs.schema(), rhs.schema())) {
-      lhs_keys.push_back(pair->lhs_index);
-      rhs_keys.push_back(pair->rhs_index);
-    } else if (!c.IsTrueLiteral()) {
-      residual = residual.IsTrueLiteral() ? c : Predicate::And(residual, c);
-    }
-  }
-  const bool check_residual = !residual.IsTrueLiteral();
+  const EquiJoinSplit split =
+      SplitEquiJoin(predicate, lhs.schema(), rhs.schema());
+  const std::vector<size_t>& lhs_keys = split.lhs_keys;
+  const std::vector<size_t>& rhs_keys = split.rhs_keys;
+  const Predicate& residual = split.residual;
+  const bool check_residual = split.has_residual();
 
   std::vector<HistoricalTuple> joined;
   auto emit = [&](const HistoricalTuple& a,
@@ -221,7 +169,7 @@ Result<HistoricalState> ThetaJoin(const HistoricalState& lhs,
     return Status::Ok();
   };
 
-  if (lhs_keys.empty()) {
+  if (!split.has_keys()) {
     // No equality keys: evaluate the whole predicate per pair without
     // materializing the product state.
     for (const HistoricalTuple& a : lhs.tuples()) {
@@ -244,10 +192,10 @@ Result<HistoricalState> ThetaJoin(const HistoricalState& lhs,
   std::unordered_map<Tuple, std::vector<size_t>> buckets;
   buckets.reserve(rhs.size());
   for (size_t j = 0; j < rhs.size(); ++j) {
-    buckets[KeyOf(rhs.tuples()[j].tuple, rhs_keys)].push_back(j);
+    buckets[JoinKeyOf(rhs.tuples()[j].tuple, rhs_keys)].push_back(j);
   }
   for (const HistoricalTuple& a : lhs.tuples()) {
-    auto it = buckets.find(KeyOf(a.tuple, lhs_keys));
+    auto it = buckets.find(JoinKeyOf(a.tuple, lhs_keys));
     if (it == buckets.end()) continue;
     for (size_t j : it->second) {
       TTRA_RETURN_IF_ERROR(emit(a, rhs.tuples()[j]));
@@ -303,10 +251,10 @@ Result<HistoricalState> NaturalJoin(const HistoricalState& lhs,
   std::unordered_map<Tuple, std::vector<size_t>> buckets;
   buckets.reserve(rhs.size());
   for (size_t j = 0; j < rhs.size(); ++j) {
-    buckets[KeyOf(rhs.tuples()[j].tuple, rhs_keys)].push_back(j);
+    buckets[JoinKeyOf(rhs.tuples()[j].tuple, rhs_keys)].push_back(j);
   }
   for (const HistoricalTuple& a : lhs.tuples()) {
-    auto it = buckets.find(KeyOf(a.tuple, lhs_keys));
+    auto it = buckets.find(JoinKeyOf(a.tuple, lhs_keys));
     if (it == buckets.end()) continue;
     for (size_t j : it->second) emit(a, rhs.tuples()[j], joined);
   }

@@ -3,6 +3,8 @@
 #include <set>
 #include <vector>
 
+#include "lang/absint.h"
+
 namespace ttra::lang {
 
 std::string_view StateKindName(StateKind kind) {
@@ -397,6 +399,11 @@ void WarnFutureRollbacks(const Expr& expr, TransactionNumber max_txn,
 
 void CheckProgram(const Program& program, Catalog catalog,
                   DiagnosticSink& sink, const AnalyzeOptions& options) {
+  // The abstract interpreter (below) needs the catalog as it was before
+  // any statement's effect was threaded through.
+  const Catalog initial_catalog = catalog;
+  std::vector<bool> stmt_has_error(program.size(), false);
+
   // Index of each relation's first define_relation (for TTRA-W001) and the
   // names each statement references (for TTRA-W001/W004).
   std::map<std::string, size_t> first_define;
@@ -437,8 +444,9 @@ void CheckProgram(const Program& program, Catalog catalog,
                             sink);
       }
     }
-    if (sink.error_count() > errors_before && !first_failed.has_value()) {
-      first_failed = i;
+    if (sink.error_count() > errors_before) {
+      stmt_has_error[i] = true;
+      if (!first_failed.has_value()) first_failed = i;
     }
     // The statement's effect still applies so later statements are checked
     // against the right catalog; failure conditions were reported above.
@@ -460,6 +468,13 @@ void CheckProgram(const Program& program, Catalog catalog,
                           "' is defined but never used");
     }
   }
+
+  // Whole-program pass: abstract interpretation of the command semantics
+  // derives TTRA-W006..W009 (see absint.h).
+  const std::vector<AbsState> abs_states = Interpret(
+      program, InitialAbsState(initial_catalog, options.initial_txn),
+      &stmt_has_error);
+  CheckProgramAbsint(program, abs_states, stmt_has_error, sink);
 }
 
 Status AnalyzeStmt(const Stmt& stmt, const Catalog& catalog) {

@@ -39,6 +39,9 @@ class Catalog {
 
   const Entry* Find(const std::string& name) const;
 
+  /// All entries, for whole-catalog consumers (absint's initial state).
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+
   /// Applies a statement's effect on the catalog (define/delete/
   /// modify_schema); modify_state and show leave it unchanged.
   Status Apply(const Stmt& stmt);

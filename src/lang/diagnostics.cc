@@ -67,6 +67,14 @@ std::string_view DiagnosticCodeSummary(std::string_view code) {
   if (code == kWarnUnusedRelation) return "defined relation is never used";
   if (code == kWarnUnreachableStmt)
     return "statement is unreachable under strict execution";
+  if (code == kWarnRollbackProvablyEmpty)
+    return "rollback provably observes only the empty state";
+  if (code == kWarnRollbackSchemaChanged)
+    return "rollback observes a scheme older than the current one";
+  if (code == kWarnDeadModifyState)
+    return "state is overwritten before any expression reads it";
+  if (code == kWarnConstantFoldable)
+    return "expression reads no relation; its value is a constant";
   return "";
 }
 
@@ -189,7 +197,9 @@ std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
     }
     items += ", \"message\": \"" + EscapeJson(d.message) + "\"}";
   }
-  std::string out = "{\n  \"file\": \"" + EscapeJson(file) + "\",\n" +
+  std::string out = "{\n  \"version\": " +
+                    std::to_string(kDiagnosticsJsonVersion) + ",\n" +
+                    "  \"file\": \"" + EscapeJson(file) + "\",\n" +
                     "  \"errors\": " + std::to_string(errors) + ",\n" +
                     "  \"warnings\": " + std::to_string(warnings) + ",\n" +
                     "  \"diagnostics\": [" + items;

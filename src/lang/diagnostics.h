@@ -64,6 +64,11 @@ inline constexpr std::string_view kWarnKindNeverMatches = "TTRA-W002";
 inline constexpr std::string_view kWarnRollbackInFuture = "TTRA-W003";
 inline constexpr std::string_view kWarnUnusedRelation = "TTRA-W004";
 inline constexpr std::string_view kWarnUnreachableStmt = "TTRA-W005";
+// Whole-program warnings derived by the abstract interpreter (absint.h).
+inline constexpr std::string_view kWarnRollbackProvablyEmpty = "TTRA-W006";
+inline constexpr std::string_view kWarnRollbackSchemaChanged = "TTRA-W007";
+inline constexpr std::string_view kWarnDeadModifyState = "TTRA-W008";
+inline constexpr std::string_view kWarnConstantFoldable = "TTRA-W009";
 
 /// One-line summary of what a registry code means ("" for unknown codes).
 std::string_view DiagnosticCodeSummary(std::string_view code);
@@ -109,8 +114,13 @@ std::string FormatDiagnostic(const Diagnostic& diagnostic,
 std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics,
                               std::string_view file);
 
+/// Schema version of the DiagnosticsToJson report. Bump on any
+/// backwards-incompatible change to the JSON shape; downstream tooling
+/// pins on it (and a golden test pins the shape for each version).
+inline constexpr int kDiagnosticsJsonVersion = 1;
+
 /// Machine-readable report:
-///   {"file": "...", "errors": N, "warnings": M,
+///   {"version": 1, "file": "...", "errors": N, "warnings": M,
 ///    "diagnostics": [{"severity": ..., "code": ..., "line": ..., ...}]}
 std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
                               std::string_view file);

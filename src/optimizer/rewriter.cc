@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "lang/evaluator.h"
+
 namespace ttra::optimizer {
 
 namespace {
 
+using lang::AbsRelation;
+using lang::AbsState;
 using lang::Analyze;
+using lang::AnalyzeStmt;
 using lang::BinaryOp;
 using lang::Catalog;
 using lang::Expr;
@@ -76,7 +81,9 @@ namespace {
 
 class Rewriter {
  public:
-  explicit Rewriter(const Catalog& catalog) : catalog_(catalog) {}
+  explicit Rewriter(const Catalog& catalog,
+                    const AbsState* facts = nullptr)
+      : catalog_(catalog), facts_(facts) {}
 
   Expr Rewrite(const Expr& expr) {
     // Bottom-up, then local rules at this node to a (bounded) fixpoint.
@@ -122,6 +129,9 @@ class Rewriter {
 
   /// One local rewrite at the root of `expr`, or nullopt if none applies.
   std::optional<Expr> ApplyLocal(const Expr& expr) {
+    if (facts_ != nullptr) {
+      if (auto folded = TryConstFold(expr)) return folded;
+    }
     switch (expr.kind()) {
       case Expr::Kind::kSelect:
         return RewriteSelect(expr);
@@ -133,9 +143,149 @@ class Rewriter {
           return expr.left();
         }
         return std::nullopt;
+      case Expr::Kind::kRollback:
+        return facts_ != nullptr ? RewriteRollback(expr) : std::nullopt;
+      case Expr::Kind::kBinary:
+        return facts_ != nullptr ? RewriteEmptyOperand(expr) : std::nullopt;
       default:
         return std::nullopt;
     }
+  }
+
+  // --- Facts-driven rules (facts_ != nullptr) -------------------------------
+
+  /// TTRA-W009's rewrite: a relation-free non-constant subexpression is a
+  /// compile-time constant — if its evaluation succeeds. Evaluation
+  /// failure (division by zero, ...) keeps the expression so the run-time
+  /// error surfaces exactly where it did before.
+  std::optional<Expr> TryConstFold(const Expr& expr) {
+    if (expr.kind() == Expr::Kind::kConst) return std::nullopt;
+    if (!expr.RelationNames().empty()) return std::nullopt;
+    if (!Analyze(expr, catalog_).ok()) return std::nullopt;
+    auto value = lang::EvalExpr(expr, empty_db_);
+    if (!value.ok()) return std::nullopt;
+    if (std::holds_alternative<HistoricalState>(*value)) {
+      return Expr::Const(std::get<HistoricalState>(std::move(*value)));
+    }
+    return Expr::Const(std::get<SnapshotState>(std::move(*value)));
+  }
+
+  /// ρ-empty fold and ρ-∞ normalization for finite-transaction rollbacks.
+  std::optional<Expr> RewriteRollback(const Expr& expr) {
+    if (!expr.rollback_txn().has_value()) return std::nullopt;
+    const TransactionNumber txn = *expr.rollback_txn();
+    const AbsRelation* rel = facts_->Find(expr.relation_name());
+    if (rel == nullptr || !rel->states_complete) return std::nullopt;
+    // Never replace a node static analysis rejects: the rewritten program
+    // must fail exactly like the original.
+    if (!Analyze(expr, catalog_).ok()) return std::nullopt;
+    if (rel->ProvablyEmptyAt(txn)) {
+      // FINDSTATE returns Empty(SchemaAt(txn)); fold only when that scheme
+      // is provably the current one, so the constant types exactly like
+      // the rollback node did (no static/run-time divergence).
+      const Schema* at = rel->ProvableSchemaAt(txn);
+      if (at == nullptr || !(*at == rel->schema)) return std::nullopt;
+      if (expr.rollback_historical()) {
+        return Expr::Const(HistoricalState::Empty(*at));
+      }
+      return Expr::Const(SnapshotState::Empty(*at));
+    }
+    // N provably at/after the last recorded state: FINDSTATE picks that
+    // last state either way, and ∞ is O(1) on every storage engine (the
+    // reverse-delta engine otherwise replays backwards from the tail).
+    const lang::TxnInterval& last = rel->state_txns.back();
+    if (last.hi.has_value() && txn >= *last.hi) {
+      return Expr::Rollback(expr.relation_name(), std::nullopt,
+                            expr.rollback_historical());
+    }
+    return std::nullopt;
+  }
+
+  /// True when every ρ/ρ̂ inside `e` provably observes a state whose
+  /// recorded scheme equals the scheme static analysis assigned to the
+  /// node. Under this condition Analyze's acceptance proves no run-time
+  /// schema/type check in `e` can fail, so a rewrite may remove such
+  /// checks (∅-pruning removes the binary operator that performed them).
+  bool RuntimeSchemaProvable(const Expr& e) const {
+    switch (e.kind()) {
+      case Expr::Kind::kConst:
+        return true;
+      case Expr::Kind::kRollback: {
+        const AbsRelation* rel = facts_->Find(e.relation_name());
+        if (rel == nullptr) return false;
+        const Schema* observed = rel->ProvableObservedSchemaAt(e.rollback_txn());
+        return observed != nullptr && *observed == rel->schema;
+      }
+      case Expr::Kind::kBinary:
+        return RuntimeSchemaProvable(e.left()) &&
+               RuntimeSchemaProvable(e.right());
+      default:
+        return RuntimeSchemaProvable(e.left());
+    }
+  }
+
+  /// True when evaluating `e` cannot fail for value-dependent reasons once
+  /// static analysis accepted it and RuntimeSchemaProvable holds: extend
+  /// (scalar arithmetic can divide by zero), summarize and delta
+  /// (value-dependent domain checks) are the failure sources. Only such
+  /// subtrees may be discarded without masking an error.
+  bool DiscardSafe(const Expr& e) const {
+    switch (e.kind()) {
+      case Expr::Kind::kConst:
+      case Expr::Kind::kRollback:
+        return true;
+      case Expr::Kind::kExtend:
+      case Expr::Kind::kSummarize:
+      case Expr::Kind::kDelta:
+        return false;
+      case Expr::Kind::kBinary:
+        return DiscardSafe(e.left()) && DiscardSafe(e.right());
+      default:
+        return DiscardSafe(e.left());
+    }
+  }
+
+  static bool IsEmptyConst(const Expr& e) {
+    if (e.kind() != Expr::Kind::kConst) return false;
+    return std::visit([](const auto& s) { return s.empty(); }, e.constant());
+  }
+
+  /// ∅-pruning of binary operators with a provably-empty operand.
+  std::optional<Expr> RewriteEmptyOperand(const Expr& expr) {
+    const Expr lhs = expr.left();
+    const Expr rhs = expr.right();
+    const bool lhs_empty = IsEmptyConst(lhs);
+    const bool rhs_empty = IsEmptyConst(rhs);
+    if (!lhs_empty && !rhs_empty) return std::nullopt;
+    auto type = Analyze(expr, catalog_);
+    if (!type.ok() || !RuntimeSchemaProvable(expr)) return std::nullopt;
+    const auto empty_result = [&type]() -> Expr {
+      if (type->kind == StateKind::kHistorical) {
+        return Expr::Const(HistoricalState::Empty(type->schema));
+      }
+      return Expr::Const(SnapshotState::Empty(type->schema));
+    };
+    switch (expr.op()) {
+      case BinaryOp::kUnion:
+        // Nothing value-bearing is discarded: ∅ contributes no tuples.
+        if (lhs_empty) return rhs;
+        return lhs;
+      case BinaryOp::kMinus:
+        if (rhs_empty) return lhs;  // E − ∅ → E
+        // ∅ − E → ∅ discards E.
+        return DiscardSafe(rhs) ? std::optional<Expr>(lhs) : std::nullopt;
+      case BinaryOp::kIntersect:
+        if (lhs_empty) {
+          return DiscardSafe(rhs) ? std::optional<Expr>(lhs) : std::nullopt;
+        }
+        return DiscardSafe(lhs) ? std::optional<Expr>(rhs) : std::nullopt;
+      case BinaryOp::kTimes:
+      case BinaryOp::kJoin:
+        // ∅ × E and ∅ ⋈ E are empty over the combined scheme.
+        if (DiscardSafe(lhs_empty ? rhs : lhs)) return empty_result();
+        return std::nullopt;
+    }
+    return std::nullopt;
   }
 
   std::optional<Expr> RewriteSelect(const Expr& expr) {
@@ -232,14 +382,14 @@ class Rewriter {
   }
 
   const Catalog& catalog_;
+  const AbsState* facts_;
+  /// Relation-free expressions never touch the database; a shared empty
+  /// one satisfies EvalExpr's signature for constant folding.
+  Database empty_db_;
   int applications_ = 0;
 };
 
-}  // namespace
-
-lang::Expr Optimize(const lang::Expr& expr, const lang::Catalog& catalog,
-                    RewriteStats* stats) {
-  Rewriter rewriter(catalog);
+Expr RunToFixpoint(Rewriter& rewriter, const Expr& expr, RewriteStats* stats) {
   Expr current = expr;
   int passes = 0;
   for (; passes < 8; ++passes) {
@@ -248,10 +398,57 @@ lang::Expr Optimize(const lang::Expr& expr, const lang::Catalog& catalog,
     current = std::move(next);
   }
   if (stats != nullptr) {
-    stats->passes = passes;
-    stats->applications = rewriter.applications();
+    stats->passes += passes;
+    stats->applications += rewriter.applications();
   }
   return current;
+}
+
+}  // namespace
+
+lang::Expr Optimize(const lang::Expr& expr, const lang::Catalog& catalog,
+                    RewriteStats* stats) {
+  Rewriter rewriter(catalog);
+  return RunToFixpoint(rewriter, expr, stats);
+}
+
+lang::Expr OptimizeWithFacts(const lang::Expr& expr,
+                             const lang::Catalog& catalog,
+                             const lang::AbsState& facts,
+                             RewriteStats* stats) {
+  Rewriter rewriter(catalog, &facts);
+  return RunToFixpoint(rewriter, expr, stats);
+}
+
+lang::Program OptimizeProgram(const lang::Program& program,
+                              lang::Catalog catalog, lang::AbsState initial,
+                              RewriteStats* stats) {
+  // Mirror CheckProgram's error mask so the interpreter treats rejected
+  // statements as committing nothing.
+  std::vector<bool> errors(program.size(), false);
+  {
+    Catalog scratch = catalog;
+    for (size_t i = 0; i < program.size(); ++i) {
+      errors[i] = !AnalyzeStmt(program[i], scratch).ok();
+      (void)scratch.Apply(program[i]);
+    }
+  }
+  const std::vector<AbsState> states =
+      lang::Interpret(program, std::move(initial), &errors);
+
+  lang::Program out = program;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (!errors[i]) {
+      if (auto* modify = std::get_if<lang::ModifyStateStmt>(&out[i])) {
+        modify->expr = OptimizeWithFacts(modify->expr, catalog, states[i],
+                                         stats);
+      } else if (auto* show = std::get_if<lang::ShowStmt>(&out[i])) {
+        show->expr = OptimizeWithFacts(show->expr, catalog, states[i], stats);
+      }
+    }
+    (void)catalog.Apply(out[i]);
+  }
+  return out;
 }
 
 }  // namespace ttra::optimizer

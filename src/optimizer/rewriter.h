@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "lang/absint.h"
 #include "lang/analyzer.h"
 #include "lang/ast.h"
 
@@ -50,6 +51,46 @@ Predicate AndAll(const std::vector<Predicate>& conjuncts);
 /// folding); unknown relations make those rules no-ops rather than errors.
 lang::Expr Optimize(const lang::Expr& expr, const lang::Catalog& catalog,
                     RewriteStats* stats = nullptr);
+
+// --- Facts-driven rewrites (abstract interpretation consumer) ---------------
+//
+// OptimizeWithFacts layers four rewrite families over Optimize, each
+// justified by the interpreter's facts (DESIGN.md §10):
+//  * ρ-empty fold:   ρ/ρ̂(I, N) with the relation provably recording no
+//                    state at or before N → the empty constant FINDSTATE
+//                    would return (only when the observed scheme is
+//                    provably the current one).
+//  * ρ-∞ normalize:  ρ/ρ̂(I, N) with N provably at/after the relation's
+//                    last recorded state → ρ/ρ̂(I, ∞), which every storage
+//                    engine answers in O(1) (no backward replay).
+//  * const fold:     a relation-free subexpression whose evaluation
+//                    succeeds → its value as a constant (TTRA-W009's
+//                    rewrite; evaluation failure keeps the expression so
+//                    run-time errors are preserved).
+//  * ∅-pruning:      E ∪ ∅ → E, ∅ − E → ∅, E − ∅ → E, ∅ ∩ E → ∅,
+//                    ∅ × E → ∅, ∅ ⋈ E → ∅ (and mirrored) — applied only
+//                    when run-time schema checks are provably redundant
+//                    and the discarded side has no value-dependent
+//                    failure source (extend/summarize/delta).
+//
+// Soundness contract: `facts` must abstract the database state the
+// expression evaluates against — AbsStateFromDatabase(db) right before
+// execution, or Interpret()'s per-statement pre-state for whole programs
+// (the latter is exact for strict execution; see DESIGN.md §10). The
+// oracle test replays rewritten vs. original programs on every storage
+// engine to enforce this.
+lang::Expr OptimizeWithFacts(const lang::Expr& expr,
+                             const lang::Catalog& catalog,
+                             const lang::AbsState& facts,
+                             RewriteStats* stats = nullptr);
+
+/// Whole-program optimization: runs the abstract interpreter once and
+/// rewrites every modify_state/show expression against its per-statement
+/// facts, threading catalog effects. Statements the analyzer rejects are
+/// left untouched (rewrites must not mask static errors).
+lang::Program OptimizeProgram(const lang::Program& program,
+                              lang::Catalog catalog, lang::AbsState initial,
+                              RewriteStats* stats = nullptr);
 
 }  // namespace ttra::optimizer
 

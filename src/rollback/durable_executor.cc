@@ -46,7 +46,7 @@ DurableExecutor::DurableExecutor(Env* env, std::string dir,
       wal_(env, dir_ + "/wal.log") {}
 
 Status DurableExecutor::Open() {
-  std::lock_guard<std::mutex> lock(commit_mutex_);
+  MutexLock lock(commit_mutex_);
   healthy_ = false;
   last_recovery_ = RecoveryInfo{};
   TTRA_RETURN_IF_ERROR(env_->CreateDir(dir_));
@@ -124,7 +124,7 @@ Status DurableExecutor::ReplayRecord(Database& db, std::string_view record) {
 
 Result<TransactionNumber> DurableExecutor::SubmitInternal(
     const std::vector<Command>& sentence, bool atomic) {
-  std::lock_guard<std::mutex> lock(commit_mutex_);
+  MutexLock lock(commit_mutex_);
   if (!healthy_) {
     return UnavailableError(
         "durable executor is failed-stop after an I/O error; reopen to "
@@ -203,7 +203,7 @@ Status DurableExecutor::CheckpointLocked() {
 }
 
 Status DurableExecutor::Checkpoint() {
-  std::lock_guard<std::mutex> lock(commit_mutex_);
+  MutexLock lock(commit_mutex_);
   if (!healthy_) {
     return UnavailableError("durable executor needs recovery; reopen");
   }
@@ -211,12 +211,12 @@ Status DurableExecutor::Checkpoint() {
 }
 
 bool DurableExecutor::healthy() const {
-  std::lock_guard<std::mutex> lock(commit_mutex_);
+  MutexLock lock(commit_mutex_);
   return healthy_;
 }
 
 DurableExecutor::RecoveryInfo DurableExecutor::last_recovery() const {
-  std::lock_guard<std::mutex> lock(commit_mutex_);
+  MutexLock lock(commit_mutex_);
   return last_recovery_;
 }
 

@@ -1,11 +1,11 @@
 #ifndef TTRA_ROLLBACK_DURABLE_EXECUTOR_H_
 #define TTRA_ROLLBACK_DURABLE_EXECUTOR_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "rollback/commands.h"
+#include "util/mutex.h"
 #include "rollback/persistence.h"
 #include "rollback/serial_executor.h"
 #include "storage/wal.h"
@@ -123,20 +123,23 @@ class DurableExecutor {
  private:
   Result<TransactionNumber> SubmitInternal(
       const std::vector<Command>& sentence, bool atomic);
-  Status CheckpointLocked();
+  Status CheckpointLocked() TTRA_REQUIRES(commit_mutex_);
   Status ReplayRecord(Database& db, std::string_view record);
 
   Env* env_;
   std::string dir_;
   DurableOptions options_;
   SerialExecutor exec_;
-  WalWriter wal_;
 
-  mutable std::mutex commit_mutex_;
-  bool healthy_ = false;
-  size_t commits_since_sync_ = 0;
-  size_t commits_since_checkpoint_ = 0;
-  RecoveryInfo last_recovery_;
+  // The commit lock serializes the log-before-apply protocol (WAL append,
+  // sync bookkeeping, checkpoint scheduling) and the health state it
+  // protects. Reads bypass it entirely (SerialExecutor's shared lock).
+  mutable Mutex commit_mutex_;
+  WalWriter wal_ TTRA_GUARDED_BY(commit_mutex_);
+  bool healthy_ TTRA_GUARDED_BY(commit_mutex_) = false;
+  size_t commits_since_sync_ TTRA_GUARDED_BY(commit_mutex_) = 0;
+  size_t commits_since_checkpoint_ TTRA_GUARDED_BY(commit_mutex_) = 0;
+  RecoveryInfo last_recovery_ TTRA_GUARDED_BY(commit_mutex_);
 };
 
 }  // namespace ttra

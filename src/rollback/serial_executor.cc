@@ -1,19 +1,18 @@
 #include "rollback/serial_executor.h"
 
-#include <mutex>
 
 namespace ttra {
 
 Result<TransactionNumber> SerialExecutor::Submit(
     const std::function<Status(Database&)>& body) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   TTRA_RETURN_IF_ERROR(body(db_));
   return db_.transaction_number();
 }
 
 Result<TransactionNumber> SerialExecutor::SubmitAtomic(
     const std::function<Status(Database&)>& body) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   Database scratch = db_.Clone();
   TTRA_RETURN_IF_ERROR(body(scratch));
   db_ = std::move(scratch);
@@ -22,34 +21,34 @@ Result<TransactionNumber> SerialExecutor::SubmitAtomic(
 
 Status SerialExecutor::Read(
     const std::function<Status(const Database&)>& reader) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return reader(db_);
 }
 
 TransactionNumber SerialExecutor::transaction_number() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return db_.transaction_number();
 }
 
 Result<SnapshotState> SerialExecutor::Rollback(
     const std::string& name, std::optional<TransactionNumber> txn) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return db_.Rollback(name, txn);
 }
 
 Result<HistoricalState> SerialExecutor::RollbackHistorical(
     const std::string& name, std::optional<TransactionNumber> txn) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return db_.RollbackHistorical(name, txn);
 }
 
 Database SerialExecutor::Snapshot() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return db_.Clone();
 }
 
 void SerialExecutor::Reset(Database db) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   db_ = std::move(db);
 }
 

@@ -2,10 +2,10 @@
 #define TTRA_ROLLBACK_SERIAL_EXECUTOR_H_
 
 #include <functional>
-#include <shared_mutex>
 #include <string_view>
 
 #include "rollback/database.h"
+#include "util/mutex.h"
 
 namespace ttra {
 
@@ -60,8 +60,8 @@ class SerialExecutor {
   void Reset(Database db);
 
  private:
-  mutable std::shared_mutex mutex_;
-  Database db_;
+  mutable SharedMutex mutex_;
+  Database db_ TTRA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ttra

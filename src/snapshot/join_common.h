@@ -1,0 +1,48 @@
+#ifndef TTRA_SNAPSHOT_JOIN_COMMON_H_
+#define TTRA_SNAPSHOT_JOIN_COMMON_H_
+
+#include <vector>
+
+#include "snapshot/predicate.h"
+#include "snapshot/schema.h"
+#include "snapshot/tuple.h"
+
+namespace ttra::snapshot_ops {
+
+// Shared pieces of the snapshot and historical θ-join kernels. Both joins
+// operate on value tuples over name-disjoint schemes (the historical one
+// additionally intersects valid-time elements), so the predicate
+// decomposition and key extraction are identical — this header is their
+// single definition.
+
+/// Splits a predicate into its top-level AND conjuncts.
+void CollectConjuncts(const Predicate& p, std::vector<Predicate>& out);
+
+/// The hash-join decomposition of a θ-join predicate: parallel key-column
+/// lists (lhs_keys[i] equi-joins with rhs_keys[i]) plus the residual
+/// conjunction applied per candidate pair.
+struct EquiJoinSplit {
+  std::vector<size_t> lhs_keys;
+  std::vector<size_t> rhs_keys;
+  Predicate residual = Predicate::True();
+
+  bool has_keys() const { return !lhs_keys.empty(); }
+  bool has_residual() const { return !residual.IsTrueLiteral(); }
+};
+
+/// Extracts every top-level `attr = attr` conjunct whose sides resolve in
+/// opposite schemes with identical types; everything else (including
+/// mixed int/double equality, which compares equal across types but
+/// hashes differently) lands in the residual. True literals are dropped.
+EquiJoinSplit SplitEquiJoin(const Predicate& predicate, const Schema& lhs,
+                            const Schema& rhs);
+
+/// The key tuple of `t` restricted to `indices`, in index-list order.
+Tuple JoinKeyOf(const Tuple& t, const std::vector<size_t>& indices);
+
+/// Tuple concatenation (the product/join combiner).
+Tuple ConcatTuples(const Tuple& a, const Tuple& b);
+
+}  // namespace ttra::snapshot_ops
+
+#endif  // TTRA_SNAPSHOT_JOIN_COMMON_H_

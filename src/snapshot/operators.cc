@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "snapshot/join_common.h"
 #include "util/string_util.h"
 
 namespace ttra::snapshot_ops {
@@ -21,66 +22,12 @@ Status RequireUnionCompatible(const SnapshotState& lhs,
   return Status::Ok();
 }
 
-// Concatenation of two tuples drawn from sorted-unique operands compares
-// lexicographically by the left part first (fixed arity), so emitting the
-// left operand in order with right-side candidates in order yields the
-// canonical (sorted, duplicate-free) form directly.
-Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
-  std::vector<Value> values = a.values();
-  values.insert(values.end(), b.values().begin(), b.values().end());
-  return Tuple(std::move(values));
-}
-
-// Splits a predicate into its top-level AND conjuncts.
-void CollectConjuncts(const Predicate& p, std::vector<Predicate>& out) {
-  if (p.kind() == Predicate::Kind::kAnd) {
-    CollectConjuncts(p.left(), out);
-    CollectConjuncts(p.right(), out);
-  } else {
-    out.push_back(p);
-  }
-}
-
-// An attr = attr conjunct usable as a hash-join key: one side resolves in
-// the left scheme, the other in the right scheme, with identical types
-// (mixed int/double equality must stay in the residual — it compares
-// equal across types but hashes differently).
-struct EquiPair {
-  size_t lhs_index;
-  size_t rhs_index;
-};
-
-std::optional<EquiPair> AsEquiPair(const Predicate& p, const Schema& lhs,
-                                   const Schema& rhs) {
-  if (p.kind() != Predicate::Kind::kComparison || p.op() != CompareOp::kEq ||
-      !p.lhs().is_attr() || !p.rhs().is_attr()) {
-    return std::nullopt;
-  }
-  const std::string& a = p.lhs().attr_name();
-  const std::string& b = p.rhs().attr_name();
-  // Product schemes are name-disjoint, so each name resolves on one side.
-  if (auto li = lhs.IndexOf(a)) {
-    auto rj = rhs.IndexOf(b);
-    if (rj && lhs.attribute(*li).type == rhs.attribute(*rj).type) {
-      return EquiPair{*li, *rj};
-    }
-    return std::nullopt;
-  }
-  if (auto li = lhs.IndexOf(b)) {
-    auto rj = rhs.IndexOf(a);
-    if (rj && lhs.attribute(*li).type == rhs.attribute(*rj).type) {
-      return EquiPair{*li, *rj};
-    }
-  }
-  return std::nullopt;
-}
-
-Tuple KeyOf(const Tuple& t, const std::vector<size_t>& indices) {
-  std::vector<Value> values;
-  values.reserve(indices.size());
-  for (size_t i : indices) values.push_back(t.at(i));
-  return Tuple(std::move(values));
-}
+// Note on ordering: concatenation of two tuples drawn from sorted-unique
+// operands compares lexicographically by the left part first (fixed
+// arity), so emitting the left operand in order with right-side candidates
+// in order yields the canonical (sorted, duplicate-free) form directly.
+// ConcatTuples/JoinKeyOf/SplitEquiJoin live in join_common.h, shared with
+// the historical kernel.
 
 }  // namespace
 
@@ -190,22 +137,15 @@ Result<SnapshotState> ThetaJoin(const SnapshotState& lhs,
 
   // Split the predicate into hash-join keys (top-level attr = attr
   // conjuncts across the operands) and a residual applied per candidate.
-  std::vector<Predicate> conjuncts;
-  CollectConjuncts(predicate, conjuncts);
-  std::vector<size_t> lhs_keys, rhs_keys;
-  Predicate residual = Predicate::True();
-  for (const Predicate& c : conjuncts) {
-    if (auto pair = AsEquiPair(c, lhs.schema(), rhs.schema())) {
-      lhs_keys.push_back(pair->lhs_index);
-      rhs_keys.push_back(pair->rhs_index);
-    } else if (!c.IsTrueLiteral()) {
-      residual = residual.IsTrueLiteral() ? c : Predicate::And(residual, c);
-    }
-  }
-  const bool check_residual = !residual.IsTrueLiteral();
+  const EquiJoinSplit split =
+      SplitEquiJoin(predicate, lhs.schema(), rhs.schema());
+  const std::vector<size_t>& lhs_keys = split.lhs_keys;
+  const std::vector<size_t>& rhs_keys = split.rhs_keys;
+  const Predicate& residual = split.residual;
+  const bool check_residual = split.has_residual();
 
   std::vector<Tuple> joined;
-  if (lhs_keys.empty()) {
+  if (!split.has_keys()) {
     // No equality keys: block nested loop over the operands, evaluating
     // the predicate per pair without materializing the product state.
     for (const Tuple& a : lhs.tuples()) {
@@ -224,10 +164,10 @@ Result<SnapshotState> ThetaJoin(const SnapshotState& lhs,
     std::unordered_map<Tuple, std::vector<size_t>> buckets;
     buckets.reserve(rhs.size());
     for (size_t j = 0; j < rhs.size(); ++j) {
-      buckets[KeyOf(rhs.tuples()[j], rhs_keys)].push_back(j);
+      buckets[JoinKeyOf(rhs.tuples()[j], rhs_keys)].push_back(j);
     }
     for (const Tuple& a : lhs.tuples()) {
-      auto it = buckets.find(KeyOf(a, lhs_keys));
+      auto it = buckets.find(JoinKeyOf(a, lhs_keys));
       if (it == buckets.end()) continue;
       for (size_t j : it->second) {
         Tuple combined = ConcatTuples(a, rhs.tuples()[j]);
@@ -247,10 +187,10 @@ Result<SnapshotState> ThetaJoin(const SnapshotState& lhs,
   std::unordered_map<Tuple, std::vector<size_t>> buckets;
   buckets.reserve(lhs.size());
   for (size_t i = 0; i < lhs.size(); ++i) {
-    buckets[KeyOf(lhs.tuples()[i], lhs_keys)].push_back(i);
+    buckets[JoinKeyOf(lhs.tuples()[i], lhs_keys)].push_back(i);
   }
   for (const Tuple& b : rhs.tuples()) {
-    auto it = buckets.find(KeyOf(b, rhs_keys));
+    auto it = buckets.find(JoinKeyOf(b, rhs_keys));
     if (it == buckets.end()) continue;
     for (size_t i : it->second) {
       Tuple combined = ConcatTuples(lhs.tuples()[i], b);
@@ -311,10 +251,10 @@ Result<SnapshotState> NaturalJoin(const SnapshotState& lhs,
   std::unordered_map<Tuple, std::vector<size_t>> buckets;
   buckets.reserve(rhs.size());
   for (size_t j = 0; j < rhs.size(); ++j) {
-    buckets[KeyOf(rhs.tuples()[j], rhs_keys)].push_back(j);
+    buckets[JoinKeyOf(rhs.tuples()[j], rhs_keys)].push_back(j);
   }
   for (const Tuple& a : lhs.tuples()) {
-    auto it = buckets.find(KeyOf(a, lhs_keys));
+    auto it = buckets.find(JoinKeyOf(a, lhs_keys));
     if (it == buckets.end()) continue;
     for (size_t j : it->second) emit(a, rhs.tuples()[j], joined);
   }

@@ -60,7 +60,7 @@ void PosixEnv::DropFdLocked(const std::string& path) {
 }
 
 Status PosixEnv::Truncate(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   DropFdLocked(path);
   const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (fd < 0) return Errno("truncate", path);
@@ -69,7 +69,7 @@ Status PosixEnv::Truncate(const std::string& path) {
 }
 
 Status PosixEnv::Append(const std::string& path, std::string_view data) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TTRA_ASSIGN_OR_RETURN(int fd, OpenForAppendLocked(path));
   size_t written = 0;
   while (written < data.size()) {
@@ -84,7 +84,7 @@ Status PosixEnv::Append(const std::string& path, std::string_view data) {
 }
 
 Status PosixEnv::Sync(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TTRA_ASSIGN_OR_RETURN(int fd, OpenForAppendLocked(path));
   if (::fsync(fd) != 0) return Errno("fsync", path);
   return Status::Ok();
@@ -111,7 +111,7 @@ Result<std::string> PosixEnv::Read(const std::string& path) const {
 
 Status PosixEnv::Rename(const std::string& from, const std::string& to) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     DropFdLocked(from);
     DropFdLocked(to);
   }
@@ -124,7 +124,7 @@ Status PosixEnv::Rename(const std::string& from, const std::string& to) {
 
 Status PosixEnv::Remove(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     DropFdLocked(path);
   }
   if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
@@ -164,33 +164,33 @@ Env* Env::Default() {
 // --- InMemoryEnv -----------------------------------------------------------
 
 Status InMemoryEnv::Truncate(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   files_[path] = FileState{};
   return Status::Ok();
 }
 
 Status InMemoryEnv::Append(const std::string& path, std::string_view data) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   files_[path].data.append(data);
   return Status::Ok();
 }
 
 Status InMemoryEnv::Sync(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   FileState& file = files_[path];
   file.synced_size = file.data.size();
   return Status::Ok();
 }
 
 Result<std::string> InMemoryEnv::Read(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return IoError("no such file: " + path);
   return it->second.data;
 }
 
 Status InMemoryEnv::Rename(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(from);
   if (it == files_.end()) return IoError("no such file: " + from);
   FileState moved = std::move(it->second);
@@ -203,14 +203,14 @@ Status InMemoryEnv::Rename(const std::string& from, const std::string& to) {
 }
 
 Status InMemoryEnv::Remove(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (files_.erase(path) == 0) return IoError("no such file: " + path);
   return Status::Ok();
 }
 
 Result<std::vector<std::string>> InMemoryEnv::List(
     const std::string& dir) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
   std::vector<std::string> names;
   for (const auto& [path, file] : files_) {
@@ -223,7 +223,7 @@ Result<std::vector<std::string>> InMemoryEnv::List(
 }
 
 Status InMemoryEnv::CreateDir(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (std::find(dirs_.begin(), dirs_.end(), dir) == dirs_.end()) {
     dirs_.push_back(dir);
   }
@@ -231,13 +231,13 @@ Status InMemoryEnv::CreateDir(const std::string& dir) {
 }
 
 bool InMemoryEnv::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return files_.count(path) > 0 ||
          std::find(dirs_.begin(), dirs_.end(), path) != dirs_.end();
 }
 
 void InMemoryEnv::DropUnsynced() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [path, file] : files_) {
     file.data.resize(file.synced_size);
   }
@@ -246,7 +246,7 @@ void InMemoryEnv::DropUnsynced() {
 // --- FaultInjectionEnv -----------------------------------------------------
 
 bool FaultInjectionEnv::NextOpFaults(FaultMode* mode) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++op_count_;
   if (fault_at_ != 0 && op_count_ >= fault_at_) {
     fault_at_ = 0;  // one-shot

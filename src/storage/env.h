@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace ttra {
@@ -79,11 +79,12 @@ class PosixEnv : public Env {
  private:
   /// Returns a cached O_APPEND descriptor for `path`, opening (and creating
   /// the file) on first use. Caller holds mutex_.
-  Result<int> OpenForAppendLocked(const std::string& path);
-  void DropFdLocked(const std::string& path);
+  Result<int> OpenForAppendLocked(const std::string& path)
+      TTRA_REQUIRES(mutex_);
+  void DropFdLocked(const std::string& path) TTRA_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, int> fds_;
+  mutable Mutex mutex_;
+  std::map<std::string, int> fds_ TTRA_GUARDED_BY(mutex_);
 };
 
 /// Deterministic in-memory backend. Tracks, per file, how much of the
@@ -112,9 +113,9 @@ class InMemoryEnv : public Env {
     size_t synced_size = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, FileState> files_;
-  std::vector<std::string> dirs_;
+  mutable Mutex mutex_;
+  std::map<std::string, FileState> files_ TTRA_GUARDED_BY(mutex_);
+  std::vector<std::string> dirs_ TTRA_GUARDED_BY(mutex_);
 };
 
 /// In-memory backend that can fail — or tear — the Nth mutating I/O
@@ -132,27 +133,27 @@ class FaultInjectionEnv : public InMemoryEnv {
 
   /// Arms the fault at the `nth` future counted op; 0 disarms.
   void InjectFault(uint64_t nth, FaultMode mode) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     fault_at_ = op_count_ + nth;
     mode_ = mode;
     triggered_ = false;
   }
 
   void ClearFault() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     fault_at_ = 0;
   }
 
   /// Total counted ops so far (use a fault-free run to size the fault
   /// sweep).
   uint64_t op_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return op_count_;
   }
 
   /// True once the armed fault has fired.
   bool fault_triggered() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return triggered_;
   }
 
@@ -172,12 +173,12 @@ class FaultInjectionEnv : public InMemoryEnv {
  private:
   /// Advances the op counter; returns true if this op must fail, storing
   /// the armed mode in `*mode`. Caller must NOT hold mutex_.
-  bool NextOpFaults(FaultMode* mode = nullptr);
+  bool NextOpFaults(FaultMode* mode = nullptr) TTRA_EXCLUDES(mutex_);
 
-  uint64_t op_count_ = 0;
-  uint64_t fault_at_ = 0;  // 0 = disarmed
-  FaultMode mode_ = FaultMode::kFailOp;
-  bool triggered_ = false;
+  uint64_t op_count_ TTRA_GUARDED_BY(mutex_) = 0;
+  uint64_t fault_at_ TTRA_GUARDED_BY(mutex_) = 0;  // 0 = disarmed
+  FaultMode mode_ TTRA_GUARDED_BY(mutex_) = FaultMode::kFailOp;
+  bool triggered_ TTRA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ttra

@@ -3,11 +3,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "storage/state_log.h"
+#include "util/mutex.h"
 
 namespace ttra {
 
@@ -24,7 +24,7 @@ class FindStateCache {
   explicit FindStateCache(size_t capacity) : capacity_(capacity) {}
 
   FindStateCache(const FindStateCache& other) : capacity_(other.capacity_) {
-    std::lock_guard<std::mutex> lock(other.mutex_);
+    MutexLock lock(other.mutex_);
     slots_ = other.slots_;
     clock_ = other.clock_;
   }
@@ -34,7 +34,7 @@ class FindStateCache {
 
   /// The cached state for exactly `index`, or nullptr.
   std::shared_ptr<const StateT> Get(size_t index) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (Slot& slot : slots_) {
       if (slot.index == index) {
         slot.stamp = ++clock_;
@@ -48,7 +48,7 @@ class FindStateCache {
   /// forward-delta engines), or nullopt.
   std::optional<std::pair<size_t, std::shared_ptr<const StateT>>> Floor(
       size_t index) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Slot* best = nullptr;
     for (Slot& slot : slots_) {
       if (slot.index <= index && (best == nullptr || slot.index > best->index)) {
@@ -64,7 +64,7 @@ class FindStateCache {
   /// backward-walking reverse-delta engine), or nullopt.
   std::optional<std::pair<size_t, std::shared_ptr<const StateT>>> Ceil(
       size_t index) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Slot* best = nullptr;
     for (Slot& slot : slots_) {
       if (slot.index >= index && (best == nullptr || slot.index < best->index)) {
@@ -78,7 +78,7 @@ class FindStateCache {
 
   void Put(size_t index, std::shared_ptr<const StateT> state) const {
     if (capacity_ == 0) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Slot* victim = nullptr;
     for (Slot& slot : slots_) {
       if (slot.index == index) {
@@ -98,7 +98,7 @@ class FindStateCache {
   /// Invalidates everything (called on Append/ReplaceLast and by vacuum's
   /// rebuild, which starts from a fresh log anyway).
   void Clear() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     slots_.clear();
   }
 
@@ -110,9 +110,9 @@ class FindStateCache {
   };
 
   size_t capacity_;
-  mutable std::mutex mutex_;
-  mutable std::vector<Slot> slots_;
-  mutable uint64_t clock_ = 0;
+  mutable Mutex mutex_;
+  mutable std::vector<Slot> slots_ TTRA_GUARDED_BY(mutex_);
+  mutable uint64_t clock_ TTRA_GUARDED_BY(mutex_) = 0;
 };
 
 /// Direct realization of the paper's semantics: every (state, txn) pair is

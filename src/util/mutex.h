@@ -1,0 +1,91 @@
+#ifndef TTRA_UTIL_MUTEX_H_
+#define TTRA_UTIL_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace ttra {
+
+// Annotated wrappers over the standard mutexes. Clang's thread-safety
+// analysis only tracks capabilities whose acquire/release functions are
+// annotated, and the standard library's are not — so guarded code holds
+// these instead. Zero overhead: every method is a single inlined forward.
+
+class TTRA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TTRA_ACQUIRE() { m_.lock(); }
+  void Unlock() TTRA_RELEASE() { m_.unlock(); }
+  bool TryLock() TTRA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+class TTRA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() TTRA_ACQUIRE() { m_.lock(); }
+  void Unlock() TTRA_RELEASE() { m_.unlock(); }
+  void ReaderLock() TTRA_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void ReaderUnlock() TTRA_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// std::lock_guard for Mutex.
+class TTRA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) TTRA_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() TTRA_RELEASE() { mutex_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Exclusive (writer) scoped lock for SharedMutex.
+class TTRA_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mutex) TTRA_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~WriterMutexLock() TTRA_RELEASE() { mutex_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Shared (reader) scoped lock for SharedMutex.
+class TTRA_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mutex) TTRA_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.ReaderLock();
+  }
+  ~ReaderMutexLock() TTRA_RELEASE() { mutex_.ReaderUnlock(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+}  // namespace ttra
+
+#endif  // TTRA_UTIL_MUTEX_H_

@@ -1,0 +1,68 @@
+#ifndef TTRA_UTIL_THREAD_ANNOTATIONS_H_
+#define TTRA_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis annotations, compiled to no-ops everywhere
+// else (GCC/MSVC). The lock discipline documented in EXPERIMENTS.md E13 is
+// enforced at compile time by tools/check.sh --tidy, which runs a clang
+// -Wthread-safety -Werror=thread-safety pass over the tree (and a negative
+// compile test that must fail).
+//
+// Standard-library mutexes are not annotated, so annotated code must hold
+// capabilities through the wrappers in util/mutex.h.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TTRA_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef TTRA_THREAD_ANNOTATION_
+#define TTRA_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Class is a lockable capability ("mutex", "shared_mutex", ...).
+#define TTRA_CAPABILITY(x) TTRA_THREAD_ANNOTATION_(capability(x))
+
+/// RAII type that acquires a capability in its constructor and releases it
+/// in its destructor.
+#define TTRA_SCOPED_CAPABILITY TTRA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define TTRA_GUARDED_BY(x) TTRA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by `x`.
+#define TTRA_PT_GUARDED_BY(x) TTRA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the capability (exclusively / shared) and does not
+/// release it.
+#define TTRA_ACQUIRE(...) \
+  TTRA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define TTRA_ACQUIRE_SHARED(...) \
+  TTRA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define TTRA_RELEASE(...) \
+  TTRA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TTRA_RELEASE_SHARED(...) \
+  TTRA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function may acquire the capability; the boolean result reports success.
+#define TTRA_TRY_ACQUIRE(...) \
+  TTRA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared) on entry.
+#define TTRA_REQUIRES(...) \
+  TTRA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define TTRA_REQUIRES_SHARED(...) \
+  TTRA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability on entry (deadlock prevention).
+#define TTRA_EXCLUDES(...) TTRA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define TTRA_RETURN_CAPABILITY(x) TTRA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function is exempt from analysis.
+#define TTRA_NO_THREAD_SAFETY_ANALYSIS \
+  TTRA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // TTRA_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,280 @@
+// Unit tests for the abstract interpreter (lang/absint.h): the interval
+// lattice, the per-statement transfer function, seeding from a live
+// database, and the provability queries the optimizer and the W006..W009
+// warnings are built on.
+
+#include "lang/absint.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/evaluator.h"
+#include "lang/parser.h"
+
+namespace ttra::lang {
+namespace {
+
+Program MustParse(const std::string& source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program.ok() ? *program : Program{};
+}
+
+std::vector<AbsState> InterpretSource(const std::string& source,
+                                      const std::vector<bool>* errors =
+                                          nullptr) {
+  const Program program = MustParse(source);
+  return Interpret(program, InitialAbsState(Catalog(), 0), errors);
+}
+
+// --- TxnInterval lattice -----------------------------------------------------
+
+TEST(TxnInterval, JoinIsHull) {
+  const TxnInterval a = TxnInterval::Range(2, 5);
+  const TxnInterval b = TxnInterval::Range(4, 9);
+  EXPECT_EQ(a.Join(b), TxnInterval::Range(2, 9));
+  EXPECT_EQ(b.Join(a), TxnInterval::Range(2, 9));
+  EXPECT_EQ(a.Join(TxnInterval::AtLeast(3)), TxnInterval::AtLeast(2));
+  EXPECT_EQ(a.Join(a), a);
+}
+
+TEST(TxnInterval, PlusShiftsBounds) {
+  EXPECT_EQ(TxnInterval::Exact(3).Plus(1, 1), TxnInterval::Exact(4));
+  EXPECT_EQ(TxnInterval::Range(2, 5).Plus(0, 1), TxnInterval::Range(2, 6));
+  EXPECT_EQ(TxnInterval::AtLeast(2).Plus(1, 1), TxnInterval::AtLeast(3));
+}
+
+TEST(TxnInterval, ProvabilityNeedsTheRightBound) {
+  const TxnInterval exact = TxnInterval::Exact(5);
+  EXPECT_TRUE(exact.ProvablyLt(6));
+  EXPECT_TRUE(exact.ProvablyGt(4));
+  EXPECT_TRUE(exact.ProvablyLe(5));
+  EXPECT_TRUE(exact.ProvablyGe(5));
+  EXPECT_FALSE(exact.ProvablyLt(5));
+  EXPECT_FALSE(exact.ProvablyGt(5));
+
+  const TxnInterval open = TxnInterval::AtLeast(3);
+  EXPECT_FALSE(open.ProvablyLt(100));  // no upper bound, nothing < provable
+  EXPECT_FALSE(open.ProvablyLe(100));
+  EXPECT_TRUE(open.ProvablyGt(2));
+  EXPECT_TRUE(open.ProvablyGe(3));
+}
+
+TEST(TxnInterval, ToStringForms) {
+  EXPECT_EQ(TxnInterval::Exact(3).ToString(), "3");
+  EXPECT_EQ(TxnInterval::Range(3, 7).ToString(), "[3,7]");
+  EXPECT_EQ(TxnInterval::AtLeast(3).ToString(), "[3,inf)");
+}
+
+// --- Transfer function -------------------------------------------------------
+
+TEST(Interpret, CountsCommitsExactly) {
+  const auto states = InterpretSource(R"(
+    define_relation(r, rollback, (n: int));
+    modify_state(r, (n: int) {(1)});
+    show(rho(r, inf));
+    modify_state(r, (n: int) {(2)});
+  )");
+  ASSERT_EQ(states.size(), 5u);
+  EXPECT_EQ(states[0].counter, TxnInterval::Exact(0));
+  EXPECT_EQ(states[1].counter, TxnInterval::Exact(1));  // after define
+  EXPECT_EQ(states[2].counter, TxnInterval::Exact(2));  // after modify
+  EXPECT_EQ(states[3].counter, TxnInterval::Exact(2));  // show commits nothing
+  EXPECT_EQ(states[4].counter, TxnInterval::Exact(3));
+}
+
+TEST(Interpret, RollbackRelationsAppendStates) {
+  const auto states = InterpretSource(R"(
+    define_relation(r, rollback, (n: int));
+    modify_state(r, (n: int) {(1)});
+    modify_state(r, (n: int) {(2)});
+  )");
+  const AbsRelation* r = states.back().Find("r");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->states_complete);
+  ASSERT_EQ(r->state_txns.size(), 2u);
+  EXPECT_EQ(r->state_txns[0], TxnInterval::Exact(2));
+  EXPECT_EQ(r->state_txns[1], TxnInterval::Exact(3));
+  EXPECT_EQ(r->defined_at, TxnInterval::Exact(1));
+}
+
+TEST(Interpret, SnapshotRelationsReplaceTheirState) {
+  const auto states = InterpretSource(R"(
+    define_relation(s, snapshot, (n: int));
+    modify_state(s, (n: int) {(1)});
+    modify_state(s, (n: int) {(2)});
+  )");
+  const AbsRelation* s = states.back().Find("s");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->state_txns.size(), 1u);
+  EXPECT_EQ(s->state_txns[0], TxnInterval::Exact(3));
+}
+
+TEST(Interpret, TemporalRelationsAppendLikeRollback) {
+  const auto states = InterpretSource(R"(
+    define_relation(t, temporal, (n: int));
+    modify_state(t, (n: int) {(1) @ [0, 10)});
+    modify_state(t, hrho(t, inf) union (n: int) {(2) @ [20, 30)});
+  )");
+  const AbsRelation* t = states.back().Find("t");
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->state_txns.size(), 2u);
+  EXPECT_EQ(t->state_txns[1], TxnInterval::Exact(3));
+}
+
+TEST(Interpret, DeleteErasesAndSchemaChangeAppendsHistory) {
+  const auto states = InterpretSource(R"(
+    define_relation(e, rollback, (a: int));
+    modify_schema(e, (a: int, b: int));
+    delete_relation(e);
+  )");
+  const AbsRelation* mid = states[1].Find("e");
+  ASSERT_NE(mid, nullptr);
+  ASSERT_EQ(mid->schema_history.size(), 1u);
+  const AbsRelation* evolved = states[2].Find("e");
+  ASSERT_NE(evolved, nullptr);
+  ASSERT_EQ(evolved->schema_history.size(), 2u);
+  EXPECT_EQ(evolved->schema_history[1].second, TxnInterval::Exact(2));
+  EXPECT_EQ(states.back().Find("e"), nullptr);
+}
+
+TEST(Interpret, RejectedStatementsHaveNoEffect) {
+  // A failing command leaves the database — including the counter —
+  // unchanged, so a statically-rejected statement is abstractly a no-op.
+  const Program program = MustParse(R"(
+    define_relation(r, rollback, (n: int));
+    modify_state(ghost, (n: int) {(1)});
+    modify_state(r, (n: int) {(2)});
+  )");
+  const std::vector<bool> errors = {false, true, false};
+  const auto states = Interpret(program, InitialAbsState(Catalog(), 0),
+                                &errors);
+  EXPECT_EQ(states[2].counter, TxnInterval::Exact(1));
+  EXPECT_EQ(states[3].counter, TxnInterval::Exact(2));
+  const AbsRelation* r = states.back().Find("r");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->state_txns.size(), 1u);
+  EXPECT_EQ(r->state_txns[0], TxnInterval::Exact(2));
+}
+
+TEST(Interpret, UnknownInitialCounterStaysAnInterval) {
+  const Program program = MustParse(R"(
+    define_relation(r, rollback, (n: int));
+    modify_state(r, (n: int) {(1)});
+  )");
+  const auto states =
+      Interpret(program, InitialAbsState(Catalog(), std::nullopt), nullptr);
+  EXPECT_EQ(states[0].counter, TxnInterval::AtLeast(0));
+  EXPECT_EQ(states[2].counter, TxnInterval::AtLeast(2));
+  const AbsRelation* r = states.back().Find("r");
+  ASSERT_NE(r, nullptr);
+  // The state's transaction is only bounded from below — and the relation
+  // can still never be provably empty at any probe above the bound.
+  EXPECT_FALSE(r->ProvablyEmptyAt(2));
+  EXPECT_TRUE(r->ProvablyEmptyAt(0));
+}
+
+TEST(Interpret, PreexistingCatalogRelationsHaveUnknownHistory) {
+  Database db;
+  ASSERT_TRUE(db.DefineRelation("old", RelationType::kRollback,
+                                *Schema::Make({{"n", ValueType::kInt}}))
+                  .ok());
+  const Catalog catalog(db);
+  const AbsState initial = InitialAbsState(catalog, db.transaction_number());
+  const AbsRelation* old = initial.Find("old");
+  ASSERT_NE(old, nullptr);
+  EXPECT_FALSE(old->states_complete);
+  EXPECT_FALSE(old->ProvablyEmptyAt(0));  // history invisible: no claims
+  EXPECT_EQ(old->ProvableSchemaAt(0), nullptr);
+  EXPECT_EQ(old->ProvableObservedSchemaAt(std::nullopt), nullptr);
+}
+
+// --- Seeding from a live database -------------------------------------------
+
+TEST(AbsStateFromDatabase, IsExact) {
+  Database db;
+  Status status = ttra::lang::Run(R"(
+    define_relation(r, rollback, (a: int));
+    modify_state(r, (a: int) {(1)});
+    modify_schema(r, (a: int, b: int));
+    modify_state(r, (a: int, b: int) {(1, 2)});
+  )",
+                      db);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const AbsState state = AbsStateFromDatabase(db);
+  EXPECT_EQ(state.counter, TxnInterval::Exact(4));
+  const AbsRelation* r = state.Find("r");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->states_complete);
+  ASSERT_EQ(r->state_txns.size(), 2u);
+  EXPECT_EQ(r->state_txns[0], TxnInterval::Exact(2));
+  EXPECT_EQ(r->state_txns[1], TxnInterval::Exact(4));
+  ASSERT_EQ(r->schema_history.size(), 2u);
+  EXPECT_EQ(r->schema_history[1].second, TxnInterval::Exact(3));
+}
+
+// --- Provability queries -----------------------------------------------------
+
+TEST(Provability, EmptinessAndSchemaResolution) {
+  const auto states = InterpretSource(R"(
+    define_relation(e, rollback, (a: int));
+    modify_state(e, (a: int) {(1)});
+    modify_schema(e, (a: int, b: int));
+    modify_state(e, (a: int, b: int) {(1, 2)});
+  )");
+  const AbsRelation* e = states.back().Find("e");
+  ASSERT_NE(e, nullptr);
+  // States recorded at 2 and 4; schemas installed at 1 and 3.
+  EXPECT_TRUE(e->ProvablyEmptyAt(0));
+  EXPECT_TRUE(e->ProvablyEmptyAt(1));
+  EXPECT_FALSE(e->ProvablyEmptyAt(2));
+
+  const Schema old_schema = e->schema_history[0].first;
+  ASSERT_NE(e->ProvableSchemaAt(2), nullptr);
+  EXPECT_EQ(*e->ProvableSchemaAt(2), old_schema);
+  ASSERT_NE(e->ProvableSchemaAt(3), nullptr);
+  EXPECT_EQ(*e->ProvableSchemaAt(3), e->schema);
+  // Before the first install, SchemaAt clamps to the define-time scheme.
+  EXPECT_EQ(*e->ProvableSchemaAt(0), old_schema);
+}
+
+TEST(Provability, ObservedSchemaTracksTheStateNotTheProbe) {
+  const auto states = InterpretSource(R"(
+    define_relation(e, rollback, (a: int));
+    modify_state(e, (a: int) {(1)});
+    modify_schema(e, (a: int, b: int));
+    modify_state(e, (a: int, b: int) {(1, 2)});
+  )");
+  const AbsRelation* e = states.back().Find("e");
+  ASSERT_NE(e, nullptr);
+  const Schema old_schema = e->schema_history[0].first;
+  // A probe at 3 lands between the old-scheme state (txn 2) and the new
+  // one (txn 4): FINDSTATE observes the txn-2 state, recorded under the
+  // old scheme, even though the probe's own scheme epoch is the new one.
+  ASSERT_NE(e->ProvableObservedSchemaAt(3), nullptr);
+  EXPECT_EQ(*e->ProvableObservedSchemaAt(3), old_schema);
+  ASSERT_NE(e->ProvableObservedSchemaAt(std::nullopt), nullptr);
+  EXPECT_EQ(*e->ProvableObservedSchemaAt(std::nullopt), e->schema);
+  // A probe before any state observes the empty state under the scheme
+  // current at the probe.
+  ASSERT_NE(e->ProvableObservedSchemaAt(0), nullptr);
+  EXPECT_EQ(*e->ProvableObservedSchemaAt(0), old_schema);
+}
+
+TEST(Provability, NeverEvolvedRelationObservesItsOnlySchema) {
+  const auto states = InterpretSource(R"(
+    define_relation(r, rollback, (n: int));
+    modify_state(r, (n: int) {(1)});
+  )");
+  const AbsRelation* r = states.back().Find("r");
+  ASSERT_NE(r, nullptr);
+  for (const auto probe :
+       {std::optional<TransactionNumber>(0),
+        std::optional<TransactionNumber>(100),
+        std::optional<TransactionNumber>()}) {
+    ASSERT_NE(r->ProvableObservedSchemaAt(probe), nullptr);
+    EXPECT_EQ(*r->ProvableObservedSchemaAt(probe), r->schema);
+  }
+}
+
+}  // namespace
+}  // namespace ttra::lang

@@ -30,7 +30,9 @@ TEST(DiagnosticCodes, EveryErrorCodeHasARegistryEntry) {
   EXPECT_EQ(DiagnosticCodeForError(ErrorCode::kOk), "");
   for (std::string_view warn :
        {kWarnUseBeforeDefine, kWarnKindNeverMatches, kWarnRollbackInFuture,
-        kWarnUnusedRelation, kWarnUnreachableStmt}) {
+        kWarnUnusedRelation, kWarnUnreachableStmt, kWarnRollbackProvablyEmpty,
+        kWarnRollbackSchemaChanged, kWarnDeadModifyState,
+        kWarnConstantFoldable}) {
     EXPECT_FALSE(DiagnosticCodeSummary(warn).empty()) << warn;
   }
 }
@@ -90,6 +92,7 @@ TEST(CheckGolden, JsonMultiError) {
   EXPECT_EQ(
       DiagnosticsToJson(sink.diagnostics(), "prog.ttra"),
       "{\n"
+      "  \"version\": 1,\n"
       "  \"file\": \"prog.ttra\",\n"
       "  \"errors\": 2,\n"
       "  \"warnings\": 1,\n"
@@ -120,6 +123,7 @@ TEST(CheckGolden, CleanProgramSaysOk) {
             "clean.ttra: ok\n");
   EXPECT_EQ(DiagnosticsToJson(sink.diagnostics(), "clean.ttra"),
             "{\n"
+            "  \"version\": 1,\n"
             "  \"file\": \"clean.ttra\",\n"
             "  \"errors\": 0,\n"
             "  \"warnings\": 0,\n"
@@ -236,6 +240,178 @@ TEST(CheckWarnings, UnreachableStmtW005OnlyOnce) {
     }
   }
   EXPECT_EQ(unreachable, 1u);
+}
+
+// --- Whole-program warnings (abstract interpreter, W006..W009) --------------
+
+const Diagnostic* FindCode(const DiagnosticSink& sink, std::string_view code) {
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+TEST(CheckAbsint, RollbackProvablyEmptyW006) {
+  // The only state is recorded at transaction 2; a probe at 1 provably
+  // observes the empty state.
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(emp, rollback, (x: int));\n"
+      "modify_state(emp, (x: int) {(1)});\n"
+      "show(rho(emp, 1))");
+  EXPECT_EQ(sink.error_count(), 0u);
+  const Diagnostic* d = FindCode(sink, kWarnRollbackProvablyEmpty);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.begin, (SourcePos{3, 6}));
+  EXPECT_EQ(d->message,
+            "rollback to transaction 1 provably observes the empty state: "
+            "relation 'emp' records no state at or before that transaction");
+  // A probe that observes a state does not warn, and ρ(I, ∞) never does.
+  const DiagnosticSink quiet = CheckSource(
+      "define_relation(emp, rollback, (x: int));\n"
+      "modify_state(emp, (x: int) {(1)});\n"
+      "show(rho(emp, 2));\n"
+      "show(rho(emp, inf))");
+  EXPECT_EQ(FindCode(quiet, kWarnRollbackProvablyEmpty), nullptr);
+}
+
+TEST(CheckAbsint, RollbackProvablyEmptyW006Historical) {
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(t, temporal, (x: int));\n"
+      "modify_state(t, (x: int) {(1) @ [0, 5)});\n"
+      "show(hrho(t, 1))");
+  EXPECT_EQ(sink.error_count(), 0u);
+  const Diagnostic* d = FindCode(sink, kWarnRollbackProvablyEmpty);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.begin, (SourcePos{3, 6}));
+}
+
+TEST(CheckAbsint, RollbackSchemaChangedW007) {
+  // The probed state (txn 2) was recorded under (x: int); the current
+  // scheme is (x: int, y: int): surrounding operators type against the
+  // latter, so the observation is schema-incompatible.
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(emp, rollback, (x: int));\n"
+      "modify_state(emp, (x: int) {(1)});\n"
+      "modify_schema(emp, (x: int, y: int));\n"
+      "show(rho(emp, 2))");
+  EXPECT_EQ(sink.error_count(), 0u);
+  const Diagnostic* d = FindCode(sink, kWarnRollbackSchemaChanged);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.begin, (SourcePos{4, 6}));
+  EXPECT_EQ(d->message,
+            "rollback to transaction 2 observes scheme (x: int), but "
+            "surrounding operators are typed against the current scheme "
+            "(x: int, y: int)");
+  // After the scheme change a probe at the new epoch is fine.
+  const DiagnosticSink quiet = CheckSource(
+      "define_relation(emp, rollback, (x: int));\n"
+      "modify_state(emp, (x: int) {(1)});\n"
+      "modify_schema(emp, (x: int, y: int));\n"
+      "modify_state(emp, (x: int, y: int) {(1, 2)});\n"
+      "show(rho(emp, 4))");
+  EXPECT_EQ(FindCode(quiet, kWarnRollbackSchemaChanged), nullptr);
+}
+
+TEST(CheckAbsint, DeadModifyStateW008) {
+  // Statement 2's write is overwritten by statement 3 before any
+  // expression reads it — snapshot relations keep no history, so it is
+  // dead. The warning anchors at the dead write.
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(s, snapshot, (x: int));\n"
+      "modify_state(s, (x: int) {(1)});\n"
+      "modify_state(s, (x: int) {(2)});\n"
+      "show(rho(s, inf))");
+  EXPECT_EQ(sink.error_count(), 0u);
+  const Diagnostic* d = FindCode(sink, kWarnDeadModifyState);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.begin, (SourcePos{2, 1}));
+  EXPECT_EQ(d->message,
+            "state written to 's' here is overwritten by statement 3 before "
+            "any expression reads it");
+}
+
+TEST(CheckAbsint, DeadModifyStateW008RespectsReadsAndHistory) {
+  // An intervening read keeps the first write alive.
+  const DiagnosticSink read = CheckSource(
+      "define_relation(s, snapshot, (x: int));\n"
+      "modify_state(s, (x: int) {(1)});\n"
+      "show(rho(s, inf));\n"
+      "modify_state(s, (x: int) {(2)});\n"
+      "show(rho(s, inf))");
+  EXPECT_EQ(FindCode(read, kWarnDeadModifyState), nullptr);
+  // Rollback/temporal relations retain every state: never dead.
+  const DiagnosticSink retained = CheckSource(
+      "define_relation(r, rollback, (x: int));\n"
+      "modify_state(r, (x: int) {(1)});\n"
+      "modify_state(r, (x: int) {(2)});\n"
+      "show(rho(r, 2))");
+  EXPECT_EQ(FindCode(retained, kWarnDeadModifyState), nullptr);
+  // A self-referencing overwrite reads the previous state first.
+  const DiagnosticSink self = CheckSource(
+      "define_relation(s, snapshot, (x: int));\n"
+      "modify_state(s, (x: int) {(1)});\n"
+      "modify_state(s, rho(s, inf) union (x: int) {(2)});\n"
+      "show(rho(s, inf))");
+  EXPECT_EQ(FindCode(self, kWarnDeadModifyState), nullptr);
+}
+
+TEST(CheckAbsint, DeadModifyStateW008OnDelete) {
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(s, snapshot, (x: int));\n"
+      "modify_state(s, (x: int) {(1)});\n"
+      "delete_relation(s)");
+  EXPECT_EQ(sink.error_count(), 0u);
+  const Diagnostic* d = FindCode(sink, kWarnDeadModifyState);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.begin, (SourcePos{2, 1}));
+  EXPECT_EQ(d->message,
+            "state written to 's' here is deleted by statement 3 before any "
+            "expression reads it");
+}
+
+TEST(CheckAbsint, ConstantFoldableW009) {
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(s, snapshot, (x: int));\n"
+      "modify_state(s, select[x > 1]((x: int) {(1), (2)}));\n"
+      "show(rho(s, inf))");
+  EXPECT_EQ(sink.error_count(), 0u);
+  const Diagnostic* d = FindCode(sink, kWarnConstantFoldable);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.begin.line, 2u);
+  EXPECT_EQ(d->message,
+            "expression references no relation; its value is a compile-time "
+            "constant");
+  // Plain constant literals are already constants: no warning.
+  const DiagnosticSink quiet = CheckSource(
+      "define_relation(s, snapshot, (x: int));\n"
+      "modify_state(s, (x: int) {(1)});\n"
+      "show(rho(s, inf))");
+  EXPECT_EQ(FindCode(quiet, kWarnConstantFoldable), nullptr);
+}
+
+TEST(CheckAbsint, CleanTemporalProgramStaysClean) {
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(t, temporal, (x: int));\n"
+      "modify_state(t, (x: int) {(1) @ [0, 5)});\n"
+      "modify_state(t, hrho(t, inf) union (x: int) {(2) @ [5, 9)});\n"
+      "show(delta[isempty((valid minus [0, 5))); valid](hrho(t, inf)))");
+  EXPECT_EQ(sink.error_count(), 0u);
+  EXPECT_EQ(sink.warning_count(), 0u);
+}
+
+TEST(CheckAbsint, GoldenHumanRenderingWithSpans) {
+  // Pins the span-accurate human rendering of the whole-program warnings.
+  const DiagnosticSink sink = CheckSource(
+      "define_relation(s, snapshot, (x: int));\n"
+      "modify_state(s, select[x > 1]((x: int) {(7)}));\n"
+      "modify_state(s, (x: int) {(2)});\n"
+      "show(rho(s, inf))");
+  EXPECT_EQ(FormatDiagnostics(sink.diagnostics(), "abs.ttra"),
+            "abs.ttra:2:17: warning[TTRA-W009]: expression references no "
+            "relation; its value is a compile-time constant\n"
+            "abs.ttra:2:1: warning[TTRA-W008]: state written to 's' here is "
+            "overwritten by statement 3 before any expression reads it\n"
+            "abs.ttra: 0 error(s), 2 warning(s)\n");
 }
 
 // --- Collecting behavior ----------------------------------------------------

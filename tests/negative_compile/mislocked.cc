@@ -1,0 +1,35 @@
+// Negative compile test for the lock-discipline gate.
+//
+// This file MUST FAIL to compile under
+//   clang++ -fsyntax-only -Werror=thread-safety
+// because `Deposit` mutates a TTRA_GUARDED_BY member without holding the
+// guarding mutex. tools/check.sh --tidy compiles it with clang and asserts
+// a non-zero exit: if this file ever compiles cleanly there, the
+// annotations have been silently disabled (macro definitions broken, or
+// the analysis flag dropped) and the whole thread-safety gate is dead.
+//
+// It is intentionally NOT part of any CMake target.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace ttra {
+
+class Account {
+ public:
+  // BUG (on purpose): writes balance_ without acquiring mu_. Clang's
+  // analysis reports "writing variable 'balance_' requires holding mutex
+  // 'mu_' exclusively".
+  void Deposit(long amount) { balance_ += amount; }
+
+  long Read() {
+    MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  Mutex mu_;
+  long balance_ TTRA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ttra

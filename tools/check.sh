@@ -4,8 +4,10 @@
 #
 #   tools/check.sh            # all passes: normal, ASan/UBSan, TSan, tidy, bench
 #   tools/check.sh --fast     # normal pass only (no sanitizers, no bench)
+#   tools/check.sh --asan     # ASan/UBSan pass only (memory gate)
 #   tools/check.sh --tsan     # ThreadSanitizer pass only (race gate)
-#   tools/check.sh --tidy     # clang-tidy pass only (skips if not installed)
+#   tools/check.sh --tidy     # clang-tidy + thread-safety analysis
+#                             # (skips whichever clang tool is missing)
 #
 # Run from the repository root. Build trees go to build/ (normal),
 # build-san/ (ASan/UBSan), build-tsan/ (TSan), and build-release/ (bench
@@ -22,9 +24,10 @@ do_bench=0
 case "${1:-}" in
   "")      do_normal=1 do_asan=1 do_tsan=1 do_tidy=1 do_bench=1 ;;
   --fast)  do_normal=1 ;;
+  --asan)  do_asan=1 ;;
   --tsan)  do_tsan=1 ;;
   --tidy)  do_tidy=1 ;;
-  *) echo "usage: tools/check.sh [--fast|--tsan|--tidy]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--fast|--asan|--tsan|--tidy]" >&2; exit 2 ;;
 esac
 
 run_pass() {
@@ -68,6 +71,31 @@ if [ "$do_tidy" -eq 1 ]; then
       xargs clang-tidy -p build --quiet --warnings-as-errors='*'
   else
     echo "== clang-tidy not installed; skipping lint pass"
+  fi
+
+  # Lock-discipline gate: clang's thread-safety analysis over every
+  # annotated translation unit (util/thread_annotations.h enables the
+  # attributes only under clang, so g++ builds are unaffected). Syntax-only
+  # is enough — the analysis is a frontend pass.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== clang -Wthread-safety (lock-discipline gate)"
+    find src tools -name '*.cc' -o -name '*.cpp' | while read -r tu; do
+      clang++ -std=c++20 -fsyntax-only -Isrc \
+        -Wthread-safety -Werror=thread-safety "$tu" || exit 1
+    done
+
+    # Negative compile test: a deliberately mis-locked mutation MUST be
+    # rejected, or the gate above is silently toothless.
+    echo "== thread-safety negative test (must fail to compile)"
+    if clang++ -std=c++20 -fsyntax-only -Isrc \
+         -Wthread-safety -Werror=thread-safety \
+         tests/negative_compile/mislocked.cc 2>/dev/null; then
+      echo "== FAILED: mislocked.cc compiled cleanly; annotations are dead" >&2
+      exit 1
+    fi
+    echo "   rejected, as required"
+  else
+    echo "== clang++ not installed; skipping thread-safety gate"
   fi
 fi
 

@@ -2,7 +2,7 @@
 //
 //   ttra run <script> [--db <file>] [--save <file>] [--lax] [--optimize]
 //                     [--explain] [--wal-dir <dir>] [--fresh] [--recover]
-//   ttra check <script> [--json]
+//   ttra check <script> [--json] [--werror] [--help]
 //   ttra describe --db <file>
 //   ttra vacuum --db <file> --relation <name> --before <txn>
 //               [--archive <file>] [--save <file>]
@@ -11,7 +11,9 @@
 // `check` runs the static diagnostics engine without executing anything:
 // every error and warning in the script is reported with its source span
 // and registry code (human-readable by default, machine-readable with
-// --json). Exits 1 iff the script has errors; warnings alone exit 0.
+// --json). Exit codes: 0 clean (warnings allowed unless --werror), 1
+// errors or warnings-under---werror, 2 usage / unreadable script. See
+// `ttra check --help`.
 //
 // `run` executes a script of language statements against an empty database
 // or one loaded with --db, printing every show() result; --save persists
@@ -63,6 +65,8 @@ struct Flags {
   bool fresh = false;
   bool recover = false;
   bool json = false;
+  bool werror = false;
+  bool help = false;
 };
 
 bool ParseFlags(int argc, char** argv, Flags& flags) {
@@ -80,6 +84,10 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
       flags.recover = true;
     } else if (arg == "--json") {
       flags.json = true;
+    } else if (arg == "--werror") {
+      flags.werror = true;
+    } else if (arg == "--help") {
+      flags.help = true;
     } else if (arg.rfind("--", 0) == 0) {
       if (i + 1 >= argc) {
         std::cerr << "ttra: flag " << arg << " needs a value\n";
@@ -109,16 +117,21 @@ int SaveIfRequested(const Database& db, const Flags& flags) {
 }
 
 /// Applies the optimizer to the expression inside a statement, leaving
-/// non-expression statements untouched.
-lang::Stmt OptimizeStmt(const lang::Stmt& stmt, const lang::Catalog& catalog) {
+/// non-expression statements untouched. The live database supplies exact
+/// abstract facts (AbsStateFromDatabase), unlocking the facts-driven
+/// rewrites (ρ-fold, ∅-pruning, constant folding) on top of the algebraic
+/// ones — sound here because the statement evaluates against `db` itself.
+lang::Stmt OptimizeStmt(const lang::Stmt& stmt, const lang::Catalog& catalog,
+                        const Database& db) {
+  const lang::AbsState facts = lang::AbsStateFromDatabase(db);
   if (std::holds_alternative<lang::ModifyStateStmt>(stmt)) {
     const auto& s = std::get<lang::ModifyStateStmt>(stmt);
-    return lang::ModifyStateStmt{s.name,
-                                 optimizer::Optimize(s.expr, catalog)};
+    return lang::ModifyStateStmt{
+        s.name, optimizer::OptimizeWithFacts(s.expr, catalog, facts)};
   }
   if (std::holds_alternative<lang::ShowStmt>(stmt)) {
     const auto& s = std::get<lang::ShowStmt>(stmt);
-    return lang::ShowStmt{optimizer::Optimize(s.expr, catalog)};
+    return lang::ShowStmt{optimizer::OptimizeWithFacts(s.expr, catalog, facts)};
   }
   return stmt;
 }
@@ -188,7 +201,8 @@ int CmdRunDurable(const Flags& flags, const std::string& wal_dir) {
   for (const lang::Stmt& raw : *program) {
     const Database db = exec.Snapshot();  // read-only view for evaluation
     lang::Catalog catalog(db);
-    const lang::Stmt stmt = flags.optimize ? OptimizeStmt(raw, catalog) : raw;
+    const lang::Stmt stmt =
+        flags.optimize ? OptimizeStmt(raw, catalog, db) : raw;
     if (flags.explain) {
       std::cout << "-- " << lang::StmtToString(stmt) << "\n";
       if (const lang::Expr* expr = StmtExpr(stmt)) {
@@ -241,7 +255,7 @@ int CmdRun(const Flags& flags) {
   for (const lang::Stmt& raw : *program) {
     lang::Catalog catalog(*db);
     const lang::Stmt stmt =
-        flags.optimize ? OptimizeStmt(raw, catalog) : raw;
+        flags.optimize ? OptimizeStmt(raw, catalog, *db) : raw;
     if (flags.explain) {
       std::cout << "-- " << lang::StmtToString(stmt) << "\n";
       if (const lang::Expr* expr = StmtExpr(stmt)) {
@@ -259,13 +273,41 @@ int CmdRun(const Flags& flags) {
   return SaveIfRequested(*db, flags);
 }
 
+int CmdCheckHelp() {
+  std::cout <<
+      "usage: ttra check <script> [--json] [--werror]\n"
+      "\n"
+      "Runs the static diagnostics engine over the script without executing\n"
+      "it: per-statement analysis plus the whole-program abstract\n"
+      "interpreter (TTRA-W006..W009). Nothing is evaluated and no database\n"
+      "is touched.\n"
+      "\n"
+      "flags:\n"
+      "  --json    machine-readable output (schema carries a \"version\"\n"
+      "            field; current version " << lang::kDiagnosticsJsonVersion
+      << ")\n"
+      "  --werror  treat warnings as errors for the exit code\n"
+      "\n"
+      "exit codes:\n"
+      "  0  script is clean (warnings allowed unless --werror)\n"
+      "  1  the script has errors, or warnings under --werror\n"
+      "  2  usage error or the script cannot be opened\n";
+  return 0;
+}
+
 int CmdCheck(const Flags& flags) {
+  if (flags.help) return CmdCheckHelp();
   if (flags.positional.size() != 2) {
-    return Fail("usage: ttra check <script> [--json]");
+    std::cerr << "ttra: usage: ttra check <script> [--json] [--werror] "
+                 "(--help for details)\n";
+    return 2;
   }
   const std::string& path = flags.positional[1];
   std::ifstream in(path);
-  if (!in) return Fail("cannot open script: " + path);
+  if (!in) {
+    std::cerr << "ttra: cannot open script: " << path << "\n";
+    return 2;
+  }
   std::stringstream buffer;
   buffer << in.rdbuf();
   const lang::DiagnosticSink sink = lang::CheckSource(buffer.str());
@@ -274,7 +316,9 @@ int CmdCheck(const Flags& flags) {
   } else {
     std::cout << lang::FormatDiagnostics(sink.diagnostics(), path);
   }
-  return sink.has_errors() ? 1 : 0;
+  if (sink.has_errors()) return 1;
+  if (flags.werror && sink.warning_count() > 0) return 1;
+  return 0;
 }
 
 int CmdDescribe(const Flags& flags) {
