@@ -1,0 +1,196 @@
+// Experiment E15: concurrency and group commit. Two questions the MVCC
+// split raises, measured: (1) do reader sessions scale — OpenSession is a
+// shared_ptr grab and every evaluation runs on an immutable snapshot, so
+// adding reader threads should add throughput; (2) what does group commit
+// buy — batching N sentences into one WAL record + one fsync should move
+// commit throughput from the fsync floor toward the apply floor as the
+// batch grows.
+
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <memory>
+
+#include "rollback/concurrent_executor.h"
+#include "storage/env.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+constexpr char kDir[] = "/tmp/ttra_bench_concurrent";
+
+Schema BenchSchema() {
+  return *Schema::Make({{"id", ValueType::kInt}, {"v", ValueType::kInt}});
+}
+
+void ResetDir(Env* env) {
+  (void)env->Remove(std::string(kDir) + "/wal.log");
+  (void)env->Remove(std::string(kDir) + "/checkpoint.db");
+  (void)env->Remove(std::string(kDir) + "/checkpoint.db.tmp");
+}
+
+/// Commits/sec vs group-commit batch size, sync policy kAlways (every
+/// acknowledged batch is fsync'ed). The bench thread submits
+/// asynchronously and bounds the in-flight window, so the writer sees a
+/// standing backlog and batches fill naturally up to max_batch; batch
+/// size 1 degenerates to one fsync per sentence — the E11 floor.
+void BM_GroupCommitThroughput(benchmark::State& state) {
+  Env* env = Env::Default();
+  ResetDir(env);
+  ConcurrentOptions options;
+  options.durable.sync_policy = SyncPolicy::kAlways;
+  options.group_commit.max_batch = static_cast<size_t>(state.range(0));
+  options.group_commit.max_latency = std::chrono::microseconds(0);
+  ConcurrentExecutor exec(env, kDir, options);
+  if (!exec.Start().ok()) {
+    state.SkipWithError("cannot start executor");
+    return;
+  }
+  const Schema schema = BenchSchema();
+  workload::Generator gen(17);
+  if (!exec.Submit(Command{DefineRelationCmd{
+                       "emp", RelationType::kSnapshot, schema}})
+           .ok()) {
+    state.SkipWithError("define failed");
+    return;
+  }
+  std::vector<std::vector<Command>> sentences;
+  for (int i = 0; i < 128; ++i) {
+    sentences.push_back({ModifySnapshotCmd{"emp", gen.RandomState(schema, 8)}});
+  }
+  size_t next = 0;
+  std::deque<std::future<Result<TransactionNumber>>> inflight;
+  for (auto _ : state) {
+    inflight.push_back(exec.SubmitAsync(sentences[next]));
+    next = (next + 1) % sentences.size();
+    // A bounded window keeps memory flat and guarantees each counted
+    // iteration is (or is about to be) durably committed.
+    while (inflight.size() >= 256) {
+      if (!inflight.front().get().ok()) {
+        state.SkipWithError("commit failed");
+        return;
+      }
+      inflight.pop_front();
+    }
+  }
+  while (!inflight.empty()) {
+    (void)inflight.front().get();
+    inflight.pop_front();
+  }
+  const ConcurrentExecutor::Stats stats = exec.stats();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["fsyncs"] = static_cast<double>(stats.wal.syncs);
+  state.counters["batches"] = static_cast<double>(stats.batches);
+  state.counters["avg_batch"] =
+      stats.batches == 0
+          ? 0.0
+          : static_cast<double>(stats.commits) /
+                static_cast<double>(stats.batches);
+  exec.Stop();
+  ResetDir(env);
+}
+BENCHMARK(BM_GroupCommitThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->ArgName("max_batch")
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// Reader-session scaling, 1→16 threads: every thread opens a pinned
+/// session and evaluates ρ(emp, n) for random committed n. The database
+/// holds 64 committed states under the delta engine with a small
+/// FINDSTATE cache, so reads mix cache hits with log reconstruction —
+/// the realistic mix a hot rollback relation serves.
+ConcurrentExecutor* g_read_exec = nullptr;
+
+void BM_ReaderSessionScaling(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    Env* env = Env::Default();
+    ResetDir(env);
+    ConcurrentOptions options;
+    options.durable.db.storage = StorageKind::kDelta;
+    options.durable.db.checkpoint_interval = 8;
+    options.durable.db.findstate_cache_capacity = 8;
+    g_read_exec = new ConcurrentExecutor(env, kDir, options);
+    if (!g_read_exec->Start().ok()) {
+      state.SkipWithError("cannot start executor");
+      return;
+    }
+    const Schema schema = BenchSchema();
+    workload::Generator gen(29);
+    (void)g_read_exec->Submit(Command{
+        DefineRelationCmd{"emp", RelationType::kRollback, schema}});
+    for (int i = 0; i < 64; ++i) {
+      (void)g_read_exec->Submit(
+          Command{ModifySnapshotCmd{"emp", gen.RandomState(schema, 32)}});
+    }
+  }
+  uint64_t salt = static_cast<uint64_t>(state.thread_index()) + 1;
+  uint64_t failures = 0;
+  for (auto _ : state) {
+    Session session = g_read_exec->OpenSession();
+    salt = salt * 6364136223846793005u + 1442695040888963407u;
+    const TransactionNumber txn = 2 + (salt >> 33) % (session.epoch() - 1);
+    auto result = session.Rollback("emp", txn);
+    if (!result.ok()) ++failures;
+    benchmark::DoNotOptimize(result);
+  }
+  if (failures != 0) state.SkipWithError("rollback failed");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    g_read_exec->Stop();
+    delete g_read_exec;
+    g_read_exec = nullptr;
+    ResetDir(Env::Default());
+  }
+}
+BENCHMARK(BM_ReaderSessionScaling)
+    ->ThreadRange(1, 16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// Raw physical floor under the executors: N framed records in ONE
+/// Env::Append plus one fsync, vs N separate append+fsync round trips.
+/// The ratio bounds what any group-commit policy can recover.
+void BM_WalBatchedAppendSync(benchmark::State& state) {
+  Env* env = Env::Default();
+  (void)env->CreateDir(kDir);
+  const std::string path = std::string(kDir) + "/raw.log";
+  WalWriter writer(env, path);
+  if (!writer.Create().ok()) {
+    state.SkipWithError("cannot create wal");
+    return;
+  }
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  const std::vector<std::string> payloads(batch, std::string(256, 'x'));
+  for (auto _ : state) {
+    if (batched) {
+      if (!writer.AddRecords(payloads).ok() || !writer.Sync().ok()) {
+        state.SkipWithError("wal write failed");
+        return;
+      }
+    } else {
+      for (const std::string& payload : payloads) {
+        if (!writer.AddRecord(payload).ok() || !writer.Sync().ok()) {
+          state.SkipWithError("wal write failed");
+          return;
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+  (void)env->Remove(path);
+}
+BENCHMARK(BM_WalBatchedAppendSync)
+    ->ArgsProduct({{8, 64}, {0, 1}})
+    ->ArgNames({"records", "batched"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ttra

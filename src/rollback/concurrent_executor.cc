@@ -1,0 +1,176 @@
+#include "rollback/concurrent_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ttra {
+
+Result<SnapshotState> Session::Rollback(
+    const std::string& name, std::optional<TransactionNumber> txn) const {
+  if (txn.has_value() && *txn > epoch_) {
+    return InvalidRollbackError("transaction " + std::to_string(*txn) +
+                                " is beyond this session's epoch " +
+                                std::to_string(epoch_));
+  }
+  return snapshot_->Rollback(name, txn);
+}
+
+Result<HistoricalState> Session::RollbackHistorical(
+    const std::string& name, std::optional<TransactionNumber> txn) const {
+  if (txn.has_value() && *txn > epoch_) {
+    return InvalidRollbackError("transaction " + std::to_string(*txn) +
+                                " is beyond this session's epoch " +
+                                std::to_string(epoch_));
+  }
+  return snapshot_->RollbackHistorical(name, txn);
+}
+
+ConcurrentExecutor::ConcurrentExecutor(Env* env, std::string dir,
+                                       ConcurrentOptions options)
+    : options_(options), durable_(env, std::move(dir), options.durable) {}
+
+ConcurrentExecutor::~ConcurrentExecutor() { Stop(); }
+
+Status ConcurrentExecutor::Start() {
+  if (started_) return Status::Ok();
+  TTRA_RETURN_IF_ERROR(durable_.Open());
+  PublishSnapshot();
+  {
+    MutexLock lock(publish_mutex_);
+    submitted_ = 0;
+    completed_ = 0;
+  }
+  queue_ = std::make_unique<BoundedQueue<Pending>>(
+      options_.group_commit.queue_capacity);
+  writer_ = std::thread(&ConcurrentExecutor::WriterLoop, this);
+  started_ = true;
+  return Status::Ok();
+}
+
+void ConcurrentExecutor::Stop() {
+  if (!started_) return;
+  queue_->Close();
+  if (writer_.joinable()) writer_.join();
+  started_ = false;
+}
+
+std::future<Result<TransactionNumber>> ConcurrentExecutor::SubmitAsync(
+    std::vector<Command> sentence, bool atomic) {
+  Pending pending;
+  pending.sentence = std::move(sentence);
+  pending.atomic = atomic;
+  std::future<Result<TransactionNumber>> future =
+      pending.promise.get_future();
+  BoundedQueue<Pending>* queue = queue_.get();
+  if (queue == nullptr || !queue->Push(std::move(pending))) {
+    // Not started, stopped, or closed mid-wait. Pending was either moved
+    // into the queue (and will be answered by the writer's final drain)
+    // or dropped — a dropped promise would surface as broken_promise, so
+    // answer it here. Push returning false guarantees the drop.
+    std::promise<Result<TransactionNumber>> refused;
+    future = refused.get_future();
+    refused.set_value(UnavailableError("concurrent executor is not running"));
+    return future;
+  }
+  MutexLock lock(publish_mutex_);
+  ++submitted_;
+  return future;
+}
+
+Result<TransactionNumber> ConcurrentExecutor::Submit(
+    std::vector<Command> sentence) {
+  return SubmitAsync(std::move(sentence), /*atomic=*/false).get();
+}
+
+Result<TransactionNumber> ConcurrentExecutor::Submit(Command command) {
+  std::vector<Command> sentence;
+  sentence.push_back(std::move(command));
+  return Submit(std::move(sentence));
+}
+
+Result<TransactionNumber> ConcurrentExecutor::SubmitAtomic(
+    std::vector<Command> sentence) {
+  return SubmitAsync(std::move(sentence), /*atomic=*/true).get();
+}
+
+Status ConcurrentExecutor::Drain() {
+  MutexLock lock(publish_mutex_);
+  const uint64_t target = submitted_;
+  drained_.Wait(publish_mutex_, [this, target]() TTRA_REQUIRES(
+                                    publish_mutex_) {
+    return completed_ >= target;
+  });
+  return Status::Ok();
+}
+
+Session ConcurrentExecutor::OpenSession() const {
+  MutexLock lock(publish_mutex_);
+  return Session(published_, published_->transaction_number());
+}
+
+TransactionNumber ConcurrentExecutor::transaction_number() const {
+  MutexLock lock(publish_mutex_);
+  return published_->transaction_number();
+}
+
+Database ConcurrentExecutor::Snapshot() const {
+  std::shared_ptr<const Database> snapshot;
+  {
+    MutexLock lock(publish_mutex_);
+    snapshot = published_;
+  }
+  return snapshot->Clone();
+}
+
+Status ConcurrentExecutor::Checkpoint() { return durable_.Checkpoint(); }
+
+ConcurrentExecutor::Stats ConcurrentExecutor::stats() const {
+  MutexLock lock(publish_mutex_);
+  Stats stats = stats_;
+  stats.wal = durable_.wal_stats();
+  return stats;
+}
+
+void ConcurrentExecutor::PublishSnapshot() {
+  auto snapshot = std::make_shared<const Database>(durable_.Snapshot());
+  MutexLock lock(publish_mutex_);
+  published_ = std::move(snapshot);
+}
+
+void ConcurrentExecutor::WriterLoop() {
+  for (;;) {
+    std::vector<Pending> batch = queue_->PopBatch(
+        options_.group_commit.max_batch, options_.group_commit.max_latency);
+    if (batch.empty()) return;  // closed and fully drained
+
+    std::vector<GroupEntry> entries;
+    entries.reserve(batch.size());
+    for (Pending& pending : batch) {
+      entries.push_back(
+          GroupEntry{std::move(pending.sentence), pending.atomic});
+    }
+    std::vector<Result<TransactionNumber>> results =
+        durable_.SubmitGroup(entries);
+
+    // Publish the post-batch snapshot BEFORE resolving promises:
+    // read-your-writes — a producer whose commit is acknowledged opens
+    // its next session at an epoch that includes it.
+    PublishSnapshot();
+    {
+      MutexLock lock(publish_mutex_);
+      stats_.commits += batch.size();
+      stats_.batches += 1;
+      stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+    {
+      MutexLock lock(publish_mutex_);
+      completed_ += batch.size();
+    }
+    drained_.SignalAll();
+  }
+}
+
+}  // namespace ttra

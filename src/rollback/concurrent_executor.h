@@ -1,0 +1,193 @@
+#ifndef TTRA_ROLLBACK_CONCURRENT_EXECUTOR_H_
+#define TTRA_ROLLBACK_CONCURRENT_EXECUTOR_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rollback/durable_executor.h"
+#include "util/bounded_queue.h"
+#include "util/mutex.h"
+
+namespace ttra {
+
+/// Group-commit accumulation knobs.
+struct GroupCommitOptions {
+  /// Most sentences committed per WAL record/sync.
+  size_t max_batch = 64;
+  /// How long the writer lingers for a partially-filled batch once at
+  /// least one sentence is queued. Zero = commit whatever is queued
+  /// immediately (lowest latency, smallest batches).
+  std::chrono::microseconds max_latency{200};
+  /// Bounded MPSC queue depth; producers block (backpressure) beyond it.
+  size_t queue_capacity = 1024;
+};
+
+struct ConcurrentOptions {
+  DurableOptions durable;
+  GroupCommitOptions group_commit;
+};
+
+/// A reader session pinned at its opening epoch N (the transaction number
+/// of the last group commit published when the session opened). The
+/// session holds a shared immutable database snapshot, so every
+/// evaluation inside it — ρ(I, n) for any n ≤ N, operator trees via
+/// lang::EvalExpr over database() — observes exactly the paper's
+/// ρ(·, N) world, no matter how far the writer advances concurrently.
+/// This is snapshot isolation derived from the semantics: E⟦·⟧ is
+/// side-effect-free, so a pinned (state, transaction-number) pair answers
+/// every expression without coordination.
+///
+/// Sessions are value types: cheap to copy (two words + a refcount) and
+/// safe to share across threads — the snapshot is immutable and FINDSTATE
+/// caching inside it is internally synchronized.
+class Session {
+ public:
+  TransactionNumber epoch() const { return epoch_; }
+
+  /// The pinned database view, e.g. for lang::EvalExpr. All relation
+  /// history up to the epoch is visible; nothing later exists here.
+  const Database& database() const { return *snapshot_; }
+
+  /// E⟦ρ(I, n)⟧ at the pinned epoch; nullopt = the session's own epoch
+  /// (the snapshot's ∞). A transaction number beyond the epoch is an
+  /// invalid-rollback error: that state may not even be committed yet,
+  /// and the session's contract is to never observe past its pin.
+  Result<SnapshotState> Rollback(
+      const std::string& name,
+      std::optional<TransactionNumber> txn = std::nullopt) const;
+
+  /// E⟦ρ̂(I, n)⟧, same epoch rules.
+  Result<HistoricalState> RollbackHistorical(
+      const std::string& name,
+      std::optional<TransactionNumber> txn = std::nullopt) const;
+
+ private:
+  friend class ConcurrentExecutor;
+  Session(std::shared_ptr<const Database> snapshot, TransactionNumber epoch)
+      : snapshot_(std::move(snapshot)), epoch_(epoch) {}
+
+  std::shared_ptr<const Database> snapshot_;
+  TransactionNumber epoch_ = 0;
+};
+
+/// Multi-session front-end realizing the MVCC split the paper's semantics
+/// licenses: arbitrarily many readers evaluate E⟦·⟧ against immutable
+/// pinned snapshots (Session), while a single writer thread serializes
+/// C⟦·⟧ — it drains a bounded MPSC queue and applies batches through
+/// DurableExecutor::SubmitGroup, one WAL record + one fsync per batch.
+///
+/// Semantics contract:
+///  * every committed batch is equivalent to some serial C⟦·⟧ order (the
+///    queue drain order, which the WAL records verbatim — the
+///    differential oracle test replays it through SerialExecutor);
+///  * a session pinned at epoch N observes exactly ρ(I, N) for every I:
+///    the rollback operator doubles as the snapshot-isolation spec;
+///  * an acknowledged sentence (future resolved OK) is durable per the
+///    sync policy and visible to every session opened afterwards
+///    (read-your-writes: the post-batch snapshot is published before
+///    futures resolve).
+///
+/// Lifecycle — Start(), submit/read from any threads, Stop() — must be
+/// driven from one owning thread; everything between is thread-safe.
+class ConcurrentExecutor {
+ public:
+  /// `env` must outlive the executor. Call Start() before submitting.
+  ConcurrentExecutor(Env* env, std::string dir,
+                     ConcurrentOptions options = {});
+  ~ConcurrentExecutor();
+
+  ConcurrentExecutor(const ConcurrentExecutor&) = delete;
+  ConcurrentExecutor& operator=(const ConcurrentExecutor&) = delete;
+
+  /// Recovers durable state from the directory, publishes the initial
+  /// snapshot, and starts the writer thread. Not idempotent while
+  /// running; call again only after Stop() (e.g. to recover from an I/O
+  /// fault, mirroring DurableExecutor::Open).
+  Status Start();
+
+  /// Closes the queue, commits everything already enqueued, and joins the
+  /// writer. Safe to call twice. Sessions remain valid afterwards.
+  void Stop();
+
+  /// Enqueues a sentence for the writer to group-commit. The future
+  /// resolves once the sentence is applied and its batch is durable per
+  /// the sync policy — with the transaction number it committed at, the
+  /// command-level error (paper sequencing: partial effects stand,
+  /// atomic: no effect), or kUnavailable if the executor is stopped or
+  /// failed-stop. Blocks only when the queue is full (backpressure).
+  std::future<Result<TransactionNumber>> SubmitAsync(
+      std::vector<Command> sentence, bool atomic = false);
+
+  /// Synchronous conveniences: SubmitAsync + wait.
+  Result<TransactionNumber> Submit(std::vector<Command> sentence);
+  Result<TransactionNumber> Submit(Command command);
+  Result<TransactionNumber> SubmitAtomic(std::vector<Command> sentence);
+
+  /// Blocks until every sentence enqueued before the call has been
+  /// committed (or refused) by the writer.
+  Status Drain();
+
+  /// Opens a reader session pinned at the current published epoch. O(1):
+  /// shares the immutable post-batch snapshot, no copying.
+  Session OpenSession() const;
+
+  /// Epoch of the last published group commit (what a session opened now
+  /// would pin).
+  TransactionNumber transaction_number() const;
+
+  /// Consistent deep copy of the published snapshot (export/persistence).
+  Database Snapshot() const;
+
+  /// Forwards to DurableExecutor::Checkpoint; safe concurrently with the
+  /// writer (both honor the commit lock). Pinned sessions are unaffected:
+  /// checkpointing truncates the on-disk log, not in-memory history.
+  Status Checkpoint();
+
+  bool healthy() const { return durable_.healthy(); }
+  DurableExecutor::RecoveryInfo last_recovery() const {
+    return durable_.last_recovery();
+  }
+  const std::string& dir() const { return durable_.dir(); }
+
+  /// Group-commit effectiveness counters.
+  struct Stats {
+    uint64_t commits = 0;       ///< sentences committed (or refused)
+    uint64_t batches = 0;       ///< group commits (WAL records)
+    uint64_t max_batch = 0;     ///< largest batch seen
+    WalWriter::Stats wal;       ///< physical I/O accounting (syncs!)
+  };
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    std::vector<Command> sentence;
+    bool atomic = false;
+    std::promise<Result<TransactionNumber>> promise;
+  };
+
+  void WriterLoop();
+  void PublishSnapshot() TTRA_EXCLUDES(publish_mutex_);
+
+  ConcurrentOptions options_;
+  DurableExecutor durable_;
+  /// Recreated by each Start(): Stop() closes the queue for good (that is
+  /// how the writer learns to exit), so a restart needs a fresh one.
+  std::unique_ptr<BoundedQueue<Pending>> queue_;
+  std::thread writer_;
+  bool started_ = false;
+
+  mutable Mutex publish_mutex_;
+  std::shared_ptr<const Database> published_ TTRA_GUARDED_BY(publish_mutex_);
+  uint64_t submitted_ TTRA_GUARDED_BY(publish_mutex_) = 0;
+  uint64_t completed_ TTRA_GUARDED_BY(publish_mutex_) = 0;
+  CondVar drained_;
+  Stats stats_ TTRA_GUARDED_BY(publish_mutex_);
+};
+
+}  // namespace ttra
+
+#endif  // TTRA_ROLLBACK_CONCURRENT_EXECUTOR_H_

@@ -7,10 +7,24 @@ namespace {
 enum RecordKind : uint8_t {
   kKindSentence = 0,
   kKindAtomic = 1,
+  /// A group-committed batch: [u64 count] followed by `count` encoded
+  /// entries. One record — and thus one checksum — frames the whole
+  /// batch, so a crash can never surface part of it.
+  kKindGroup = 2,
 };
 
 void PutU64(uint64_t v, std::string& out) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// The per-sentence encoding shared by plain and group records:
+/// [u8 atomic][u64 pre_txn][u64 n][n commands].
+void EncodeEntry(bool atomic, TransactionNumber pre_txn,
+                 const std::vector<Command>& sentence, std::string& out) {
+  out.push_back(static_cast<char>(atomic ? 1 : 0));
+  PutU64(pre_txn, out);
+  PutU64(sentence.size(), out);
+  for (const Command& command : sentence) EncodeCommand(command, out);
 }
 
 std::string EncodeRecord(bool atomic, TransactionNumber pre_txn,
@@ -23,7 +37,55 @@ std::string EncodeRecord(bool atomic, TransactionNumber pre_txn,
   return out;
 }
 
+Result<LoggedSentence> DecodeEntry(ByteReader& reader) {
+  LoggedSentence entry;
+  TTRA_ASSIGN_OR_RETURN(uint8_t atomic, reader.ReadByte());
+  if (atomic > 1) return CorruptionError("invalid group entry mode");
+  entry.atomic = atomic != 0;
+  TTRA_ASSIGN_OR_RETURN(entry.pre_txn, reader.ReadU64());
+  TTRA_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  entry.sentence.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TTRA_ASSIGN_OR_RETURN(Command command, DecodeCommand(reader));
+    entry.sentence.push_back(std::move(command));
+  }
+  return entry;
+}
+
 }  // namespace
+
+Result<std::vector<LoggedSentence>> DecodeWalRecord(std::string_view record) {
+  ByteReader reader(record);
+  TTRA_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadByte());
+  std::vector<LoggedSentence> entries;
+  if (kind == kKindSentence || kind == kKindAtomic) {
+    // Legacy/plain framing: the kind byte doubles as the atomic flag and
+    // the entry body follows without its own mode byte.
+    LoggedSentence entry;
+    entry.atomic = kind == kKindAtomic;
+    TTRA_ASSIGN_OR_RETURN(entry.pre_txn, reader.ReadU64());
+    TTRA_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+    entry.sentence.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      TTRA_ASSIGN_OR_RETURN(Command command, DecodeCommand(reader));
+      entry.sentence.push_back(std::move(command));
+    }
+    entries.push_back(std::move(entry));
+  } else if (kind == kKindGroup) {
+    TTRA_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+    entries.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      TTRA_ASSIGN_OR_RETURN(LoggedSentence entry, DecodeEntry(reader));
+      entries.push_back(std::move(entry));
+    }
+  } else {
+    return CorruptionError("invalid wal record kind");
+  }
+  if (!reader.AtEnd()) {
+    return CorruptionError("trailing bytes in wal record");
+  }
+  return entries;
+}
 
 std::string_view SyncPolicyName(SyncPolicy policy) {
   switch (policy) {
@@ -85,39 +147,28 @@ Status DurableExecutor::Open() {
 }
 
 Status DurableExecutor::ReplayRecord(Database& db, std::string_view record) {
-  ByteReader reader(record);
-  TTRA_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadByte());
-  if (kind > kKindAtomic) {
-    return CorruptionError("invalid wal record kind");
-  }
-  TTRA_ASSIGN_OR_RETURN(uint64_t pre_txn, reader.ReadU64());
-  TTRA_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
-  std::vector<Command> sentence;
-  sentence.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    TTRA_ASSIGN_OR_RETURN(Command command, DecodeCommand(reader));
-    sentence.push_back(std::move(command));
-  }
-  if (!reader.AtEnd()) {
-    return CorruptionError("trailing bytes in wal record");
-  }
-  if (pre_txn < db.transaction_number()) {
-    // Already covered by the checkpoint (crash between checkpoint
-    // publication and WAL truncation).
-    return Status::Ok();
-  }
-  if (pre_txn > db.transaction_number()) {
-    return CorruptionError("gap in command log: record expects txn " +
-                           std::to_string(pre_txn) + ", database is at " +
-                           std::to_string(db.transaction_number()));
-  }
-  // Deterministic re-execution, mirroring the live Submit/SubmitAtomic
-  // paths; command-level failures repeat exactly as they happened.
-  if (kind == kKindSentence) {
-    ApplySentence(db, sentence);
-  } else {
-    Database scratch = db.Clone();
-    if (ApplySentence(scratch, sentence).ok()) db = std::move(scratch);
+  TTRA_ASSIGN_OR_RETURN(std::vector<LoggedSentence> entries,
+                        DecodeWalRecord(record));
+  for (const LoggedSentence& entry : entries) {
+    if (entry.pre_txn < db.transaction_number()) {
+      // Already covered by the checkpoint (crash between checkpoint
+      // publication and WAL truncation).
+      continue;
+    }
+    if (entry.pre_txn > db.transaction_number()) {
+      return CorruptionError("gap in command log: record expects txn " +
+                             std::to_string(entry.pre_txn) +
+                             ", database is at " +
+                             std::to_string(db.transaction_number()));
+    }
+    // Deterministic re-execution, mirroring the live Submit/SubmitAtomic
+    // paths; command-level failures repeat exactly as they happened.
+    if (!entry.atomic) {
+      ApplySentence(db, entry.sentence);
+    } else {
+      Database scratch = db.Clone();
+      if (ApplySentence(scratch, entry.sentence).ok()) db = std::move(scratch);
+    }
   }
   return Status::Ok();
 }
@@ -183,6 +234,80 @@ Result<TransactionNumber> DurableExecutor::SubmitAtomic(
   return SubmitInternal(sentence, /*atomic=*/true);
 }
 
+std::vector<Result<TransactionNumber>> DurableExecutor::SubmitGroup(
+    const std::vector<GroupEntry>& entries) {
+  std::vector<Result<TransactionNumber>> results;
+  if (entries.empty()) return results;
+  results.reserve(entries.size());
+
+  MutexLock lock(commit_mutex_);
+  const auto fail_all = [&](const Status& status) {
+    results.assign(entries.size(), Result<TransactionNumber>(status));
+  };
+  if (!healthy_) {
+    fail_all(UnavailableError(
+        "durable executor is failed-stop after an I/O error; reopen to "
+        "recover"));
+    return results;
+  }
+
+  // Stage every entry on a private clone, recording per-entry pre-commit
+  // transaction numbers (the replay framing) and results. Nothing is
+  // visible to readers yet, so an I/O failure below can still abandon the
+  // whole batch with memory untouched — exact log-before-apply.
+  Database staged = exec_.Snapshot();
+  std::string payload;
+  payload.push_back(static_cast<char>(kKindGroup));
+  PutU64(entries.size(), payload);
+  for (const GroupEntry& entry : entries) {
+    EncodeEntry(entry.atomic, staged.transaction_number(), entry.sentence,
+                payload);
+    Status applied;
+    if (entry.atomic) {
+      Database scratch = staged.Clone();
+      applied = ApplySentence(scratch, entry.sentence);
+      if (applied.ok()) staged = std::move(scratch);
+    } else {
+      applied = ApplySentence(staged, entry.sentence);
+    }
+    if (applied.ok()) {
+      results.emplace_back(staged.transaction_number());
+    } else {
+      results.emplace_back(applied);
+    }
+  }
+
+  // One record, one (policy-dependent) sync for the whole batch. The
+  // single checksummed record is what makes the batch atomic across a
+  // crash: recovery replays all of it or none of it.
+  Status io = wal_.AddRecord(payload);
+  if (io.ok()) {
+    commits_since_sync_ += entries.size();
+    const bool sync_now =
+        options_.sync_policy == SyncPolicy::kAlways ||
+        (options_.sync_policy == SyncPolicy::kBatch &&
+         commits_since_sync_ >= options_.batch_size);
+    if (sync_now) {
+      io = wal_.Sync();
+      if (io.ok()) commits_since_sync_ = 0;
+    }
+  }
+  if (!io.ok()) {
+    healthy_ = false;
+    fail_all(io);
+    return results;
+  }
+
+  // Durable (per policy): install the staged database and acknowledge.
+  exec_.Reset(std::move(staged));
+  commits_since_checkpoint_ += entries.size();
+  if (options_.checkpoint_every != 0 &&
+      commits_since_checkpoint_ >= options_.checkpoint_every) {
+    CheckpointLocked();
+  }
+  return results;
+}
+
 Status DurableExecutor::CheckpointLocked() {
   // Publishing the checkpoint (write temp, sync, durable rename) must
   // strictly precede truncating the WAL: a crash in between leaves both a
@@ -213,6 +338,11 @@ Status DurableExecutor::Checkpoint() {
 bool DurableExecutor::healthy() const {
   MutexLock lock(commit_mutex_);
   return healthy_;
+}
+
+WalWriter::Stats DurableExecutor::wal_stats() const {
+  MutexLock lock(commit_mutex_);
+  return wal_.stats();
 }
 
 DurableExecutor::RecoveryInfo DurableExecutor::last_recovery() const {

@@ -54,9 +54,10 @@ class SerialExecutor {
   /// Consistent point-in-time copy of the whole database.
   Database Snapshot() const;
 
-  /// Replaces the database wholesale under the exclusive lock. Recovery
-  /// only (DurableExecutor installing a checkpoint + replayed WAL); normal
-  /// code must go through Submit.
+  /// Replaces the database wholesale under the exclusive lock. Reserved
+  /// for DurableExecutor: recovery (installing a checkpoint + replayed
+  /// WAL) and group commit (installing a staged batch after its record is
+  /// durable). Normal code must go through Submit.
   void Reset(Database db);
 
  private:

@@ -53,16 +53,48 @@ Status WalWriter::OpenForAppend() {
   return Status::Ok();
 }
 
+namespace {
+
+void FrameRecord(std::string_view payload, std::string& out) {
+  PutU64(payload.size(), out);
+  PutU64(Fnv1a(payload), out);
+  out.append(payload);
+}
+
+}  // namespace
+
 Status WalWriter::AddRecord(std::string_view payload) {
   std::string frame;
   frame.reserve(kRecordHeaderSize + payload.size());
-  PutU64(payload.size(), frame);
-  PutU64(Fnv1a(payload), frame);
-  frame.append(payload);
-  return env_->Append(path_, frame);
+  FrameRecord(payload, frame);
+  TTRA_RETURN_IF_ERROR(env_->Append(path_, frame));
+  stats_.records += 1;
+  stats_.appends += 1;
+  stats_.bytes_appended += frame.size();
+  return Status::Ok();
 }
 
-Status WalWriter::Sync() { return env_->Sync(path_); }
+Status WalWriter::AddRecords(const std::vector<std::string>& payloads) {
+  if (payloads.empty()) return Status::Ok();
+  size_t total = 0;
+  for (const std::string& payload : payloads) {
+    total += kRecordHeaderSize + payload.size();
+  }
+  std::string frames;
+  frames.reserve(total);
+  for (const std::string& payload : payloads) FrameRecord(payload, frames);
+  TTRA_RETURN_IF_ERROR(env_->Append(path_, frames));
+  stats_.records += payloads.size();
+  stats_.appends += 1;
+  stats_.bytes_appended += frames.size();
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  TTRA_RETURN_IF_ERROR(env_->Sync(path_));
+  stats_.syncs += 1;
+  return Status::Ok();
+}
 
 Result<WalReadResult> ReadWal(const Env& env, const std::string& path) {
   TTRA_ASSIGN_OR_RETURN(std::string data, env.Read(path));

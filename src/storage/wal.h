@@ -23,6 +23,9 @@ namespace ttra {
 
 /// Appender. Typical lifecycle: Create() a fresh log (or OpenForAppend()
 /// after recovery), then AddRecord()/Sync() per the caller's policy.
+///
+/// Not internally synchronized: callers serialize access (DurableExecutor
+/// holds its commit lock around every member, stats() included).
 class WalWriter {
  public:
   WalWriter(Env* env, std::string path) : env_(env), path_(std::move(path)) {}
@@ -37,14 +40,32 @@ class WalWriter {
   /// Appends one framed record. NOT durable until Sync().
   [[nodiscard]] Status AddRecord(std::string_view payload);
 
+  /// Appends several framed records with a single underlying Env append —
+  /// the group-commit write path: one I/O for the whole batch, one later
+  /// Sync() covering all of it.
+  [[nodiscard]] Status AddRecords(const std::vector<std::string>& payloads);
+
   /// Durably flushes all appended records.
   [[nodiscard]] Status Sync();
+
+  /// Group-commit accounting: how the record stream maps onto physical
+  /// I/O. `appends` counts Env::Append calls (batching collapses these
+  /// below `records`); `syncs` counts fsyncs. syncs/records is the
+  /// per-commit durability cost the group-commit policies amortize.
+  struct Stats {
+    uint64_t records = 0;         ///< framed records appended
+    uint64_t appends = 0;         ///< Env::Append calls issued
+    uint64_t syncs = 0;           ///< Env::Sync calls issued
+    uint64_t bytes_appended = 0;  ///< framed bytes (header + payloads)
+  };
+  const Stats& stats() const { return stats_; }
 
   const std::string& path() const { return path_; }
 
  private:
   Env* env_;
   std::string path_;
+  Stats stats_;
 };
 
 struct WalReadResult {

@@ -1,6 +1,8 @@
 #ifndef TTRA_UTIL_MUTEX_H_
 #define TTRA_UTIL_MUTEX_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
 
@@ -69,6 +71,56 @@ class TTRA_SCOPED_CAPABILITY WriterMutexLock {
 
  private:
   SharedMutex& mutex_;
+};
+
+/// Condition variable usable with the annotated Mutex. Waits release the
+/// mutex atomically and reacquire it before returning, so TTRA_REQUIRES
+/// call sites remain sound: the caller provably holds the mutex on both
+/// sides of the wait. Prefer the predicate overloads — they are immune to
+/// spurious wakeups and make the wait condition explicit (no sleep-based
+/// polling anywhere in guarded code).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously); prefer the predicate overload.
+  void Wait(Mutex& mutex) TTRA_REQUIRES(mutex) {
+    LockFacade lockable{mutex};
+    cv_.wait(lockable);
+  }
+
+  /// Blocks until `predicate()` is true.
+  template <typename Predicate>
+  void Wait(Mutex& mutex, Predicate predicate) TTRA_REQUIRES(mutex) {
+    LockFacade lockable{mutex};
+    cv_.wait(lockable, std::move(predicate));
+  }
+
+  /// Blocks until `predicate()` is true or `timeout` elapses; returns the
+  /// predicate's final value (false = timed out with it still false).
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex& mutex, std::chrono::duration<Rep, Period> timeout,
+               Predicate predicate) TTRA_REQUIRES(mutex) {
+    LockFacade lockable{mutex};
+    return cv_.wait_for(lockable, timeout, std::move(predicate));
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  // BasicLockable view of Mutex for condition_variable_any. The analysis
+  // is suppressed inside: wait() toggles the lock in a pattern the static
+  // checker cannot follow, but the capability is held again on return.
+  struct LockFacade {
+    Mutex& mutex;
+    void lock() TTRA_NO_THREAD_SAFETY_ANALYSIS { mutex.Lock(); }
+    void unlock() TTRA_NO_THREAD_SAFETY_ANALYSIS { mutex.Unlock(); }
+  };
+
+  std::condition_variable_any cv_;
 };
 
 /// Shared (reader) scoped lock for SharedMutex.

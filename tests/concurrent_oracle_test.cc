@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rollback/concurrent_executor.h"
+#include "rollback/persistence.h"
+#include "storage/env.h"
+#include "storage/serialize.h"
+#include "workload/generator.h"
+
+namespace ttra {
+namespace {
+
+// Differential concurrency oracle. Many producer threads push random
+// sentences through ConcurrentExecutor (group commit enabled) while many
+// reader threads sample pinned sessions. Afterwards the write-ahead log —
+// which records the writer's committed order verbatim — is read back and
+// replayed through a plain SerialExecutor. The contract under test:
+//
+//  1. the concurrent final database equals the serial replay of the
+//     committed order (every batch is equivalent to some serial C⟦·⟧
+//     order, and the WAL names that order);
+//  2. every view a session observed at epoch N equals ρ(I, N) evaluated
+//     against the replayed database (epoch pinning = the rollback
+//     operator as snapshot-isolation spec);
+//  3. the logged pre-commit transaction numbers chain: each sentence's
+//     pre_txn is exactly the replay executor's transaction number when
+//     the sentence is reached.
+//
+// The suite runs as 10 fixed shards (so ctest parallelizes it) that
+// together sweep TTRA_ORACLE_SEEDS seeds (read at RUN time; default 50 —
+// tools/check.sh --stress raises it). Designed to run under TSan: fixed
+// iteration counts, no sleeps, all waiting via futures/Drain.
+
+constexpr int kOracleShards = 10;
+
+constexpr int kProducers = 4;
+constexpr int kReaders = 4;
+constexpr int kSentencesPerProducer = 10;
+constexpr int kReadsPerReader = 24;
+
+int OracleSeedCount() {
+  const char* env = std::getenv("TTRA_ORACLE_SEEDS");
+  if (env == nullptr) return 50;
+  int n = std::atoi(env);
+  return n > 0 ? n : 50;
+}
+
+struct Relation {
+  std::string name;
+  RelationType type;
+  Schema schema;
+};
+
+// What one reader observed: relation `rel` through a session pinned at
+// `epoch`. The state is kept encoded so views are cheap to store and
+// compare exactly.
+struct View {
+  TransactionNumber epoch = 0;
+  size_t rel = 0;
+  bool ok = false;
+  std::string error;    // status message when !ok (for diagnostics)
+  std::string encoded;  // EncodeSnapshotState / EncodeHistoricalState
+};
+
+std::string EncodeState(const SnapshotState& state) {
+  std::string out;
+  EncodeSnapshotState(state, out);
+  return out;
+}
+
+std::string EncodeState(const HistoricalState& state) {
+  std::string out;
+  EncodeHistoricalState(state, out);
+  return out;
+}
+
+void RunOracleSeed(uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+
+  InMemoryEnv env;
+  ConcurrentOptions options;
+  // Rotate storage engines and shrink the FINDSTATE cache on odd seeds so
+  // reconstruction paths (not just cached hits) serve reader sessions.
+  const StorageKind kinds[] = {StorageKind::kFullCopy, StorageKind::kDelta,
+                               StorageKind::kCheckpoint,
+                               StorageKind::kReverseDelta};
+  options.durable.db.storage = kinds[seed % 4];
+  options.durable.db.checkpoint_interval = 4;
+  if (seed % 2 == 1) options.durable.db.findstate_cache_capacity = 2;
+  options.durable.sync_policy = SyncPolicy::kAlways;
+  options.group_commit.max_batch = 8;
+  options.group_commit.max_latency = std::chrono::microseconds(500);
+
+  ConcurrentExecutor exec(&env, "db", options);
+  ASSERT_TRUE(exec.Start().ok());
+
+  // Fixed catalog: three rollback relations plus one temporal, seeded
+  // synchronously so every reader view is over a defined relation.
+  workload::GeneratorOptions gen_options;
+  gen_options.value_range = 10;  // small domain → frequent equal states
+  workload::Generator setup(seed, gen_options);
+  std::vector<Relation> catalog;
+  for (int i = 0; i < 3; ++i) {
+    catalog.push_back(Relation{"r" + std::to_string(i),
+                               RelationType::kRollback,
+                               setup.RandomSchema(2)});
+  }
+  catalog.push_back(Relation{"t0", RelationType::kTemporal,
+                             setup.RandomSchema(2)});
+  for (const Relation& rel : catalog) {
+    ASSERT_TRUE(
+        exec.Submit(Command{DefineRelationCmd{rel.name, rel.type, rel.schema}})
+            .ok());
+    Command initial =
+        rel.type == RelationType::kTemporal
+            ? Command{ModifyHistoricalCmd{
+                  rel.name, setup.RandomHistoricalState(rel.schema, 3)}}
+            : Command{ModifySnapshotCmd{rel.name,
+                                        setup.RandomState(rel.schema, 3)}};
+    ASSERT_TRUE(exec.Submit(std::move(initial)).ok());
+  }
+
+  // Producers: random sentences mixing plain/atomic submits, successful
+  // updates, and deliberate failures (duplicate defines). Results are not
+  // synchronized with readers — that interleaving is the point.
+  std::vector<std::thread> producers;
+  std::atomic<uint64_t> acked_ok{0};
+  std::atomic<uint64_t> acked_err{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p]() {
+      workload::Generator gen(seed * 1000 + static_cast<uint64_t>(p) + 1,
+                              gen_options);
+      std::vector<std::future<Result<TransactionNumber>>> futures;
+      for (int i = 0; i < kSentencesPerProducer; ++i) {
+        const Relation& rel = catalog[gen.rng().Uniform(catalog.size())];
+        std::vector<Command> sentence;
+        bool atomic = false;
+        const uint64_t kind = gen.rng().Uniform(10);
+        auto modify = [&](const Relation& r) -> Command {
+          if (r.type == RelationType::kTemporal) {
+            return ModifyHistoricalCmd{
+                r.name,
+                gen.RandomHistoricalState(r.schema, gen.rng().Uniform(5))};
+          }
+          return ModifySnapshotCmd{
+              r.name, gen.RandomState(r.schema, gen.rng().Uniform(5))};
+        };
+        if (kind < 6) {
+          sentence.push_back(modify(rel));
+        } else if (kind < 8) {
+          // Multi-command sentence; the middle command fails (duplicate
+          // define). Plain submit → paper sequencing keeps the flanking
+          // effects; atomic submit → all three roll back.
+          atomic = gen.rng().Bernoulli(0.5);
+          sentence.push_back(modify(rel));
+          sentence.push_back(
+              DefineRelationCmd{rel.name, rel.type, rel.schema});
+          sentence.push_back(modify(catalog[gen.rng().Uniform(3)]));
+        } else {
+          // Pure error sentence: no effect either way.
+          sentence.push_back(
+              DefineRelationCmd{rel.name, rel.type, rel.schema});
+        }
+        futures.push_back(exec.SubmitAsync(std::move(sentence), atomic));
+        if (gen.rng().Bernoulli(0.25)) {
+          // Occasionally wait inline so this producer's next sentence
+          // lands in a later batch (read-your-writes pressure).
+          futures.back().get().ok() ? ++acked_ok : ++acked_err;
+          futures.pop_back();
+        }
+      }
+      for (auto& f : futures) f.get().ok() ? ++acked_ok : ++acked_err;
+    });
+  }
+
+  // Readers: sample sessions concurrently with commits. Each view must be
+  // internally consistent now, and must match the serial oracle later.
+  std::vector<std::vector<View>> observed(kReaders);
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r]() {
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        Session session = exec.OpenSession();
+        const size_t rel_index =
+            (static_cast<size_t>(r) + static_cast<size_t>(i)) %
+            catalog.size();
+        const Relation& rel = catalog[rel_index];
+        View view;
+        view.epoch = session.epoch();
+        view.rel = rel_index;
+        if (rel.type == RelationType::kTemporal) {
+          Result<HistoricalState> now = session.RollbackHistorical(rel.name);
+          Result<HistoricalState> pinned =
+              session.RollbackHistorical(rel.name, session.epoch());
+          ASSERT_EQ(now.ok(), pinned.ok());
+          if (now.ok()) {
+            // nullopt ("current") and the explicit epoch must agree: the
+            // snapshot's present IS the epoch.
+            ASSERT_EQ(EncodeState(*now), EncodeState(*pinned));
+            view.ok = true;
+            view.encoded = EncodeState(*now);
+          } else {
+            view.error = now.status().message();
+          }
+          // Beyond the pin is rejected, never answered.
+          ASSERT_FALSE(
+              session.RollbackHistorical(rel.name, session.epoch() + 1).ok());
+        } else {
+          Result<SnapshotState> now = session.Rollback(rel.name);
+          Result<SnapshotState> pinned =
+              session.Rollback(rel.name, session.epoch());
+          ASSERT_EQ(now.ok(), pinned.ok());
+          if (now.ok()) {
+            ASSERT_EQ(EncodeState(*now), EncodeState(*pinned));
+            view.ok = true;
+            view.encoded = EncodeState(*now);
+          } else {
+            view.error = now.status().message();
+          }
+          ASSERT_FALSE(session.Rollback(rel.name, session.epoch() + 1).ok());
+        }
+        observed[static_cast<size_t>(r)].push_back(std::move(view));
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  for (auto& t : readers) t.join();
+  ASSERT_TRUE(exec.Drain().ok());
+  ASSERT_TRUE(exec.healthy());
+
+  const uint64_t total_submitted =
+      static_cast<uint64_t>(2 * catalog.size()) +
+      static_cast<uint64_t>(kProducers) * kSentencesPerProducer;
+  EXPECT_EQ(acked_ok.load() + acked_err.load(),
+            static_cast<uint64_t>(kProducers) * kSentencesPerProducer);
+
+  ConcurrentExecutor::Stats stats = exec.stats();
+  EXPECT_EQ(stats.commits, total_submitted);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, stats.commits);
+  // Group commit's whole point: one record and one fsync per batch.
+  EXPECT_EQ(stats.wal.records, stats.batches);
+  EXPECT_EQ(stats.wal.syncs, stats.batches);
+
+  const Database final_db = exec.Snapshot();
+  exec.Stop();
+
+  // Read the committed order back from the log and replay it serially.
+  Result<WalReadResult> wal = ReadWal(env, "db/wal.log");
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_FALSE(wal->torn_tail);
+
+  SerialExecutor serial(options.durable.db);
+  uint64_t replayed = 0;
+  for (const std::string& record : wal->records) {
+    Result<std::vector<LoggedSentence>> sentences = DecodeWalRecord(record);
+    ASSERT_TRUE(sentences.ok()) << sentences.status();
+    for (const LoggedSentence& logged : *sentences) {
+      // Contract 3: the log IS a serial history — pre-commit transaction
+      // numbers chain exactly through the replay.
+      ASSERT_EQ(logged.pre_txn, serial.transaction_number());
+      if (logged.atomic) {
+        (void)serial.SubmitAtomic([&](Database& db) {
+          return ApplySentence(db, logged.sentence);
+        });
+      } else {
+        (void)serial.Submit([&](Database& db) {
+          return ApplySentence(db, logged.sentence);
+        });
+      }
+      ++replayed;
+    }
+  }
+  EXPECT_EQ(replayed, total_submitted);
+
+  // Contract 1: identical final databases (logical encoding is
+  // engine-independent, so this also holds across storage kinds).
+  const Database replay_db = serial.Snapshot();
+  EXPECT_EQ(replay_db.transaction_number(), final_db.transaction_number());
+  ASSERT_EQ(EncodeDatabase(replay_db), EncodeDatabase(final_db));
+
+  // Contract 2: every observed view equals ρ(I, N) against the replayed
+  // history. Nothing was deleted, so the final database answers every
+  // epoch the readers pinned.
+  for (const auto& per_reader : observed) {
+    for (const View& view : per_reader) {
+      const Relation& rel = catalog[view.rel];
+      SCOPED_TRACE("rel=" + rel.name +
+                   " epoch=" + std::to_string(view.epoch));
+      if (rel.type == RelationType::kTemporal) {
+        Result<HistoricalState> oracle =
+            replay_db.RollbackHistorical(rel.name, view.epoch);
+        ASSERT_EQ(oracle.ok(), view.ok)
+            << (view.ok ? oracle.status().message() : view.error);
+        if (oracle.ok()) {
+          ASSERT_EQ(EncodeState(*oracle), view.encoded);
+        }
+      } else {
+        Result<SnapshotState> oracle = replay_db.Rollback(rel.name, view.epoch);
+        ASSERT_EQ(oracle.ok(), view.ok)
+            << (view.ok ? oracle.status().message() : view.error);
+        if (oracle.ok()) {
+          ASSERT_EQ(EncodeState(*oracle), view.encoded);
+        }
+      }
+    }
+  }
+}
+
+class ConcurrentOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcurrentOracleTest, MatchesSerialReplayOfCommittedOrder) {
+  const int shard = GetParam();
+  const int total = OracleSeedCount();
+  for (int seed = shard; seed < total; seed += kOracleShards) {
+    RunOracleSeed(static_cast<uint64_t>(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ConcurrentOracleTest,
+                         ::testing::Range(0, kOracleShards));
+
+}  // namespace
+}  // namespace ttra

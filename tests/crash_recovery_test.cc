@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
+#include "rollback/concurrent_executor.h"
 #include "rollback/durable_executor.h"
 #include "rollback/persistence.h"
 #include "storage/env.h"
@@ -392,6 +396,206 @@ TEST(CrashRecoveryTest, RunsOnTheRealFilesystemToo) {
   const std::vector<std::string> oracle = OraclePrefixStates(Workload());
   EXPECT_EQ(EncodeDatabase(recovered.Snapshot()), oracle.back());
   EXPECT_GT(recovered.last_recovery().replayed_records, 0u);
+}
+
+// --- Group commit ---------------------------------------------------------
+//
+// A group commit is ONE checksummed WAL record, so its durability contract
+// is stronger than "prefix of sentences": recovery must land on a prefix
+// of WHOLE batches — a crash mid-batch yields the state before the batch,
+// never a torn one — and every acknowledged batch (kAlways) survives.
+
+std::vector<std::vector<GroupEntry>> WorkloadBatches(
+    const std::vector<Step>& steps, size_t batch_size) {
+  std::vector<std::vector<GroupEntry>> batches;
+  for (size_t i = 0; i < steps.size(); i += batch_size) {
+    std::vector<GroupEntry> batch;
+    for (size_t j = i; j < std::min(i + batch_size, steps.size()); ++j) {
+      batch.push_back(GroupEntry{steps[j].sentence, steps[j].atomic});
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+/// Prefix indices (into OraclePrefixStates output) that fall on batch
+/// boundaries: 0 steps, batch_size steps, 2*batch_size steps, ...
+std::vector<size_t> BatchBoundaries(size_t total_steps, size_t batch_size) {
+  std::vector<size_t> boundaries;
+  for (size_t k = 0; k <= total_steps; k += batch_size) boundaries.push_back(k);
+  if (boundaries.back() != total_steps) boundaries.push_back(total_steps);
+  return boundaries;
+}
+
+void RunGroupCrashPoint(uint64_t fault_at, FaultInjectionEnv::FaultMode mode,
+                        const DurableOptions& options,
+                        const std::vector<std::vector<GroupEntry>>& batches,
+                        const std::vector<std::string>& oracle,
+                        const std::vector<size_t>& boundaries,
+                        uint64_t* total_ops = nullptr) {
+  SCOPED_TRACE("group fault at op " + std::to_string(fault_at) +
+               (mode == FaultInjectionEnv::FaultMode::kFailOp ? " (fail)"
+                                                              : " (torn)"));
+  FaultInjectionEnv env;
+  auto exec = std::make_unique<DurableExecutor>(&env, "g", options);
+  ASSERT_TRUE(exec->Open().ok());
+  if (fault_at != 0) env.InjectFault(fault_at, mode);
+
+  size_t acked_batches = 0;
+  for (const auto& batch : batches) {
+    std::vector<Result<TransactionNumber>> results = exec->SubmitGroup(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    bool io_failed = false;
+    for (const auto& r : results) {
+      if (!r.ok() && IsIoFailure(r.status())) io_failed = true;
+    }
+    if (io_failed) break;  // "crash": the whole batch is unacknowledged
+    ++acked_batches;
+  }
+  if (total_ops != nullptr) *total_ops = env.op_count();
+
+  exec.reset();
+  env.Crash();
+  DurableExecutor recovered(&env, "g", options);
+  ASSERT_TRUE(recovered.Open().ok());
+
+  // The recovered state must sit on a batch boundary — matching a
+  // mid-batch prefix whose state differs from every boundary state would
+  // mean a torn batch was half-replayed.
+  const std::string state = EncodeDatabase(recovered.Snapshot());
+  size_t matched_boundary = boundaries.size();
+  for (size_t b = boundaries.size(); b-- > 0;) {
+    if (state == oracle[boundaries[b]]) {
+      matched_boundary = b;
+      break;
+    }
+  }
+  ASSERT_LT(matched_boundary, boundaries.size())
+      << "recovered database is not a whole-batch prefix (torn batch?)";
+  EXPECT_GE(matched_boundary, acked_batches)
+      << "recovery lost an acknowledged group commit";
+
+  const TransactionNumber resumed = recovered.transaction_number();
+  auto txn = recovered.Submit(Command(DefineRelationCmd{
+      "post_recovery", RelationType::kSnapshot, EmpSchema()}));
+  ASSERT_TRUE(txn.ok()) << txn.status();
+  EXPECT_EQ(*txn, resumed + 1);
+}
+
+TEST_P(CrashRecoveryTest, EveryGroupFaultPointRecoversWholeBatches) {
+  const std::vector<Step> steps = Workload();
+  const std::vector<std::string> oracle = OraclePrefixStates(steps);
+  constexpr size_t kBatchSize = 3;
+  const auto batches = WorkloadBatches(steps, kBatchSize);
+  const auto boundaries = BatchBoundaries(steps.size(), kBatchSize);
+  DurableOptions options;  // kAlways
+
+  uint64_t total_ops = 0;
+  RunGroupCrashPoint(0, GetParam(), options, batches, oracle, boundaries,
+                     &total_ops);
+  ASSERT_GT(total_ops, 0u);
+  for (uint64_t n = 1; n <= total_ops; ++n) {
+    RunGroupCrashPoint(n, GetParam(), options, batches, oracle, boundaries);
+  }
+}
+
+TEST_P(CrashRecoveryTest, EveryGroupFaultPointWithAutoCheckpoint) {
+  const std::vector<Step> steps = Workload();
+  const std::vector<std::string> oracle = OraclePrefixStates(steps);
+  constexpr size_t kBatchSize = 3;
+  const auto batches = WorkloadBatches(steps, kBatchSize);
+  const auto boundaries = BatchBoundaries(steps.size(), kBatchSize);
+  DurableOptions options;
+  options.checkpoint_every = 2;  // checkpoint + WAL truncation mid-stream
+
+  uint64_t total_ops = 0;
+  RunGroupCrashPoint(0, GetParam(), options, batches, oracle, boundaries,
+                     &total_ops);
+  ASSERT_GT(total_ops, 0u);
+  for (uint64_t n = 1; n <= total_ops; ++n) {
+    RunGroupCrashPoint(n, GetParam(), options, batches, oracle, boundaries);
+  }
+}
+
+// Crash under full concurrency: producers race the group-commit writer
+// when the I/O fault fires. Whatever survives on disk, recovery must
+// equal a by-hand replay of the surviving checkpoint + WAL — the same
+// differential the concurrency oracle applies to crash-free runs.
+TEST(GroupCommitCrashTest, ConcurrentCrashRecoversToWalReplay) {
+  Schema schema = MakeSchema({{"n", ValueType::kInt}});
+  auto state_of = [&](int64_t v, size_t n) {
+    std::vector<Tuple> rows;
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(Tuple{Value::Int(v + static_cast<int64_t>(i))});
+    }
+    return *SnapshotState::Make(schema, std::move(rows));
+  };
+
+  for (uint64_t fault_at = 1; fault_at <= 40; ++fault_at) {
+    SCOPED_TRACE("fault at op " + std::to_string(fault_at));
+    FaultInjectionEnv env;
+    ConcurrentOptions options;
+    options.group_commit.max_batch = 4;
+    options.group_commit.max_latency = std::chrono::microseconds(200);
+    {
+      ConcurrentExecutor exec(&env, "c", options);
+      ASSERT_TRUE(exec.Start().ok());
+      ASSERT_TRUE(exec.Submit(Command{DefineRelationCmd{
+                          "r", RelationType::kRollback, schema}})
+                      .ok());
+      env.InjectFault(fault_at, FaultInjectionEnv::FaultMode::kFailOp);
+
+      std::vector<std::thread> producers;
+      for (int p = 0; p < 2; ++p) {
+        producers.emplace_back([&, p]() {
+          for (int i = 0; i < 8; ++i) {
+            std::vector<Command> sentence;
+            sentence.push_back(ModifySnapshotCmd{
+                "r", state_of(p * 100 + i, static_cast<size_t>(i % 4))});
+            // I/O failures after the fault fires are expected; losing
+            // those unacknowledged sentences is the contract.
+            (void)exec.SubmitAsync(std::move(sentence)).get();
+          }
+        });
+      }
+      for (auto& t : producers) t.join();
+      exec.Stop();
+    }
+    env.Crash();
+
+    // By-hand recovery oracle: checkpoint + decoded WAL suffix.
+    DurableOptions plain;
+    Database oracle_db(plain.db);
+    if (env.Exists("c/checkpoint.db")) {
+      auto loaded = LoadDatabase("c/checkpoint.db", plain.db, &env);
+      ASSERT_TRUE(loaded.ok()) << loaded.status();
+      oracle_db = *std::move(loaded);
+    }
+    if (env.Exists("c/wal.log")) {
+      auto wal = ReadWal(env, "c/wal.log");
+      ASSERT_TRUE(wal.ok()) << wal.status();
+      for (const std::string& record : wal->records) {
+        auto sentences = DecodeWalRecord(record);
+        ASSERT_TRUE(sentences.ok()) << sentences.status();
+        for (const LoggedSentence& logged : *sentences) {
+          if (logged.pre_txn < oracle_db.transaction_number()) continue;
+          ASSERT_EQ(logged.pre_txn, oracle_db.transaction_number());
+          if (logged.atomic) {
+            Database scratch = oracle_db.Clone();
+            if (ApplySentence(scratch, logged.sentence).ok()) {
+              oracle_db = std::move(scratch);
+            }
+          } else {
+            ApplySentence(oracle_db, logged.sentence);
+          }
+        }
+      }
+    }
+
+    DurableExecutor recovered(&env, "c", DurableOptions{});
+    ASSERT_TRUE(recovered.Open().ok());
+    EXPECT_EQ(EncodeDatabase(recovered.Snapshot()), EncodeDatabase(oracle_db));
+  }
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 
 #include "lang/evaluator.h"
 #include "lang/parser.h"
+#include "rollback/concurrent_executor.h"
 #include "rollback/serial_executor.h"
 #include "snapshot/operators.h"
 #include "storage/logs.h"
@@ -220,6 +221,86 @@ TEST(TsanStressTest, LanguageEvalOnSharedSnapshots) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(errors.load(), 0);
+}
+
+/// The full concurrent front-end under TSan: producer threads race the
+/// group-commit writer thread through the bounded queue, readers open
+/// pinned sessions while snapshots are republished, and a checkpointer
+/// competes for the commit lock. All waiting is condvar/future-based
+/// (BoundedQueue, Drain, promise futures) — no sleeps, fixed iteration
+/// counts — so the test is deterministic in coverage and cheap
+/// unsanitized.
+TEST(TsanStressTest, ConcurrentExecutorProducersReadersCheckpointer) {
+  constexpr int kProducerThreads = 2;
+  constexpr int kCommitsPerProducer = 32;
+
+  InMemoryEnv env;
+  ConcurrentOptions options;
+  options.durable.db.findstate_cache_capacity = 4;
+  options.group_commit.max_batch = 8;
+  options.group_commit.max_latency = std::chrono::microseconds(100);
+  ConcurrentExecutor exec(&env, "db", options);
+  ASSERT_TRUE(exec.Start().ok());
+  ASSERT_TRUE(exec.Submit(Command{DefineRelationCmd{
+                      "r", RelationType::kRollback, StressSchema()}})
+                  .ok());
+  ASSERT_TRUE(
+      exec.Submit(Command{ModifySnapshotCmd{"r", StateOfSize(1)}}).ok());
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducerThreads + kReaderThreads + 1);
+  for (int p = 0; p < kProducerThreads; ++p) {
+    threads.emplace_back([&exec, &errors, p] {
+      for (int i = 0; i < kCommitsPerProducer; ++i) {
+        std::vector<Command> sentence;
+        sentence.push_back(ModifySnapshotCmd{
+            "r", StateOfSize(static_cast<size_t>((p + i) % 5))});
+        auto txn = exec.SubmitAsync(std::move(sentence)).get();
+        if (!txn.ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&exec, &errors, t] {
+      uint64_t salt = static_cast<uint64_t>(t) + 1;
+      for (int i = 0; i < 200; ++i) {
+        Session session = exec.OpenSession();
+        salt = salt * 6364136223846793005u + 1442695040888963407u;
+        // Any committed modify_state (txn >= 2) up to the pin must
+        // answer; beyond the pin must not.
+        const TransactionNumber txn =
+            2 + (salt >> 33) % (session.epoch() - 1);
+        auto state = session.Rollback("r", txn);
+        if (!state.ok() || state->size() >= 5) errors.fetch_add(1);
+        if (session.Rollback("r", session.epoch() + 1).ok()) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Checkpointer: truncates the WAL under the commit lock while the
+  // writer is group-committing and readers hold pinned snapshots.
+  threads.emplace_back([&exec, &errors] {
+    for (int i = 0; i < 8; ++i) {
+      if (!exec.Checkpoint().ok()) errors.fetch_add(1);
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(exec.Drain().ok());
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_TRUE(exec.healthy());
+  // Every modify_state succeeds and bumps the transaction number by one:
+  // define + seed + all produced commits, in SOME serial order.
+  EXPECT_EQ(exec.transaction_number(),
+            static_cast<TransactionNumber>(
+                2 + kProducerThreads * kCommitsPerProducer));
+  ConcurrentExecutor::Stats stats = exec.stats();
+  EXPECT_EQ(stats.commits,
+            static_cast<uint64_t>(2 + kProducerThreads * kCommitsPerProducer));
+  EXPECT_LE(stats.wal.syncs, stats.wal.records);
+  exec.Stop();
 }
 
 }  // namespace

@@ -123,6 +123,50 @@ TEST(WalTest, RoundTripsRecordsInOrder) {
   EXPECT_FALSE(read->torn_tail);
 }
 
+TEST(WalTest, AddRecordsMatchesIndividualAddsInOneAppend) {
+  // Batch append: same framed bytes as N AddRecord calls, one Env::Append.
+  const std::vector<std::string> payloads = {"alpha", "", "gamma-longer"};
+
+  InMemoryEnv one_by_one_env;
+  WalWriter one_by_one(&one_by_one_env, "wal");
+  ASSERT_TRUE(one_by_one.Create().ok());
+  for (const std::string& p : payloads) {
+    ASSERT_TRUE(one_by_one.AddRecord(p).ok());
+  }
+
+  InMemoryEnv batched_env;
+  WalWriter batched(&batched_env, "wal");
+  ASSERT_TRUE(batched.Create().ok());
+  ASSERT_TRUE(batched.AddRecords(payloads).ok());
+
+  EXPECT_EQ(*one_by_one_env.Read("wal"), *batched_env.Read("wal"));
+  auto read = ReadWal(batched_env, "wal");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records, payloads);
+
+  // The stats ledger shows the I/O saving: same records and bytes, one
+  // append instead of three.
+  EXPECT_EQ(one_by_one.stats().records, 3u);
+  EXPECT_EQ(one_by_one.stats().appends, 3u);
+  EXPECT_EQ(batched.stats().records, 3u);
+  EXPECT_EQ(batched.stats().appends, 1u);
+  EXPECT_EQ(batched.stats().bytes_appended,
+            one_by_one.stats().bytes_appended);
+  EXPECT_EQ(batched.stats().syncs, 0u);
+  ASSERT_TRUE(batched.Sync().ok());
+  EXPECT_EQ(batched.stats().syncs, 1u);
+}
+
+TEST(WalTest, AddRecordsEmptyBatchIsANoOp) {
+  InMemoryEnv env;
+  WalWriter writer(&env, "wal");
+  ASSERT_TRUE(writer.Create().ok());
+  const std::string before = *env.Read("wal");
+  ASSERT_TRUE(writer.AddRecords({}).ok());
+  EXPECT_EQ(*env.Read("wal"), before);
+  EXPECT_EQ(writer.stats().appends, 0u);
+}
+
 TEST(WalTest, CreateDiscardsExistingRecords) {
   InMemoryEnv env;
   WalWriter writer(&env, "wal");

@@ -2,10 +2,14 @@
 # Local gate: build + test in several configurations. Passes can be run
 # independently or all together.
 #
-#   tools/check.sh            # all passes: normal, ASan/UBSan, TSan, tidy, bench
-#   tools/check.sh --fast     # normal pass only (no sanitizers, no bench)
+#   tools/check.sh            # all passes: normal, ASan/UBSan, TSan, tidy,
+#                             # stress, bench
+#   tools/check.sh --fast     # tier-1 gate only: ctest -L tier1, no
+#                             # sanitizers, no bench
 #   tools/check.sh --asan     # ASan/UBSan pass only (memory gate)
 #   tools/check.sh --tsan     # ThreadSanitizer pass only (race gate)
+#   tools/check.sh --stress   # stress-labeled suites (concurrency oracle,
+#                             # crash sweeps) with extra randomized seeds
 #   tools/check.sh --tidy     # clang-tidy + thread-safety analysis
 #                             # (skips whichever clang tool is missing)
 #
@@ -20,43 +24,53 @@ do_normal=0
 do_asan=0
 do_tsan=0
 do_tidy=0
+do_stress=0
 do_bench=0
 case "${1:-}" in
-  "")      do_normal=1 do_asan=1 do_tsan=1 do_tidy=1 do_bench=1 ;;
+  "")      do_normal=1 do_asan=1 do_tsan=1 do_tidy=1 do_stress=1 do_bench=1 ;;
   --fast)  do_normal=1 ;;
   --asan)  do_asan=1 ;;
   --tsan)  do_tsan=1 ;;
   --tidy)  do_tidy=1 ;;
-  *) echo "usage: tools/check.sh [--fast|--asan|--tsan|--tidy]" >&2; exit 2 ;;
+  --stress) do_stress=1 ;;
+  *) echo "usage: tools/check.sh [--fast|--asan|--tsan|--stress|--tidy]" >&2; exit 2 ;;
 esac
 
+# run_pass <build-dir> <ctest-label|-> [cmake args...]; "-" runs every
+# test, a label runs only the suites carrying it (see tests/CMakeLists.txt:
+# tier1 = the fast gate, stress = randomized concurrency/crash suites).
 run_pass() {
   dir=$1
-  shift
+  label=$2
+  shift 2
   echo "== configure $dir ($*)"
   cmake -B "$dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" >/dev/null
   echo "== build $dir"
   cmake --build "$dir" -j "$jobs"
-  echo "== test $dir"
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  echo "== test $dir${label:+ (-L $label)}"
+  if [ "$label" = "-" ]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L "$label"
+  fi
 }
 
 if [ "$do_normal" -eq 1 ]; then
-  run_pass build
+  run_pass build tier1
 fi
 
 if [ "$do_asan" -eq 1 ]; then
   # Leak detection needs ptrace; fall back gracefully inside containers.
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1}" \
-  run_pass build-san "-DTTRA_SANITIZE=address;undefined"
+  run_pass build-san - "-DTTRA_SANITIZE=address;undefined"
 fi
 
 if [ "$do_tsan" -eq 1 ]; then
   # Race gate: the whole suite builds under TSan, but only the
   # multi-threaded binaries are worth the (heavy) instrumented run time.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  run_pass build-tsan -DTTRA_SANITIZE=thread \
+  run_pass build-tsan - -DTTRA_SANITIZE=thread \
     || { echo "== TSan gate FAILED"; exit 1; }
 fi
 
@@ -99,6 +113,14 @@ if [ "$do_tidy" -eq 1 ]; then
   fi
 fi
 
+if [ "$do_stress" -eq 1 ]; then
+  # Stress gate: the randomized concurrency/crash suites (label `stress`)
+  # with a deeper seed sweep than the tier-1 defaults (the differential
+  # concurrency oracle reads TTRA_ORACLE_SEEDS when it runs).
+  TTRA_ORACLE_SEEDS="${TTRA_ORACLE_SEEDS:-200}" \
+  run_pass build stress
+fi
+
 if [ "$do_bench" -eq 1 ]; then
   # Release bench smoke (experiment E12): exercises the hash-join and
   # FINDSTATE-cache fast paths under optimization and records the results
@@ -106,8 +128,8 @@ if [ "$do_bench" -eq 1 ]; then
   echo "== configure build-release (bench smoke)"
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   echo "== build build-release benches"
-  cmake --build build-release -j "$jobs" --target bench_operators bench_rollback
-  echo "== bench smoke (BENCH_operators.json, BENCH_rollback.json)"
+  cmake --build build-release -j "$jobs" --target bench_operators bench_rollback bench_concurrent
+  echo "== bench smoke (BENCH_operators.json, BENCH_rollback.json, BENCH_concurrent.json)"
   ./build-release/bench/bench_operators \
     --benchmark_filter='BM_EquiJoin' \
     --benchmark_min_time=0.05 \
@@ -116,6 +138,9 @@ if [ "$do_bench" -eq 1 ]; then
     --benchmark_filter='BM_RepeatedRollback' \
     --benchmark_min_time=0.05 \
     --benchmark_out=BENCH_rollback.json --benchmark_out_format=json
+  ./build-release/bench/bench_concurrent \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_concurrent.json --benchmark_out_format=json
 fi
 
 echo "== all requested checks passed"

@@ -2,6 +2,7 @@
 //
 //   ttra run <script> [--db <file>] [--save <file>] [--lax] [--optimize]
 //                     [--explain] [--wal-dir <dir>] [--fresh] [--recover]
+//                     [--group-commit] [--sessions <n>] [--batch <k>]
 //   ttra check <script> [--json] [--werror] [--help]
 //   ttra describe --db <file>
 //   ttra vacuum --db <file> --relation <name> --before <txn>
@@ -28,12 +29,22 @@
 // directory first; --recover prints a recovery report before running.
 // `recover` just recovers, reports, and (with --save) exports a plain
 // database file.
+//
+// With --group-commit (or --sessions), `run` goes through the concurrent
+// executor instead: updates are enqueued to the writer thread and
+// group-committed — one WAL record and one fsync per batch of up to
+// --batch statements — while show statements drain the pipeline and are
+// evaluated on --sessions concurrent reader sessions pinned at the same
+// epoch, which must all agree. Requires --wal-dir.
 
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "lang/analyzer.h"
@@ -42,6 +53,7 @@
 #include "lang/parser.h"
 #include "lang/printer.h"
 #include "optimizer/rewriter.h"
+#include "rollback/concurrent_executor.h"
 #include "rollback/durable_executor.h"
 #include "rollback/persistence.h"
 #include "rollback/vacuum.h"
@@ -62,6 +74,7 @@ struct Flags {
   bool lax = false;
   bool optimize = false;
   bool explain = false;
+  bool group_commit = false;
   bool fresh = false;
   bool recover = false;
   bool json = false;
@@ -78,6 +91,8 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
       flags.optimize = true;
     } else if (arg == "--explain") {
       flags.explain = true;
+    } else if (arg == "--group-commit") {
+      flags.group_commit = true;
     } else if (arg == "--fresh") {
       flags.fresh = true;
     } else if (arg == "--recover") {
@@ -160,12 +175,187 @@ Result<Command> StmtToCommand(const lang::Stmt& stmt, const Database& db) {
   return InvalidArgumentError("show statements are not commands");
 }
 
-void ReportRecovery(const DurableExecutor& exec) {
-  const DurableExecutor::RecoveryInfo info = exec.last_recovery();
-  std::cout << "recovered transaction " << exec.transaction_number()
-            << " (checkpoint at " << info.checkpoint_txn << ", "
-            << info.replayed_records << " wal record(s) replayed"
+void ReportRecovery(TransactionNumber txn,
+                    const DurableExecutor::RecoveryInfo& info) {
+  std::cout << "recovered transaction " << txn << " (checkpoint at "
+            << info.checkpoint_txn << ", " << info.replayed_records
+            << " wal record(s) replayed"
             << (info.torn_tail ? ", torn tail truncated" : "") << ")\n";
+}
+
+void ReportRecovery(const DurableExecutor& exec) {
+  ReportRecovery(exec.transaction_number(), exec.last_recovery());
+}
+
+Status ResetWalDir(Env* env, const std::string& wal_dir) {
+  for (const char* name : {"wal.log", "checkpoint.db", "checkpoint.db.tmp"}) {
+    const std::string path = wal_dir + "/" + std::string(name);
+    if (!env->Exists(path)) continue;
+    TTRA_RETURN_IF_ERROR(env->Remove(path));
+  }
+  return Status::Ok();
+}
+
+/// `run --wal-dir --group-commit`: the script executes through the
+/// ConcurrentExecutor. Update statements are enqueued asynchronously and
+/// the writer thread group-commits them (one WAL record + one fsync per
+/// batch); only statements that must evaluate against current state — a
+/// show, or a modify_state whose expression is not a constant — drain the
+/// pipeline first. Show statements are evaluated on `--sessions` reader
+/// sessions concurrently; all sessions open at the drained epoch and must
+/// produce identical tables.
+int CmdRunConcurrent(const Flags& flags, const std::string& wal_dir) {
+  std::ifstream in(flags.positional[1]);
+  if (!in) return Fail("cannot open script: " + flags.positional[1]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto program = lang::ParseProgram(buffer.str());
+  if (!program.ok()) return Fail(program.status().ToString());
+  if (flags.values.count("db")) {
+    return Fail("--db and --wal-dir are exclusive; durable state lives in "
+                "the wal directory (export it with --save)");
+  }
+
+  size_t sessions = 1;
+  if (auto it = flags.values.find("sessions"); it != flags.values.end()) {
+    try {
+      sessions = std::stoull(it->second);
+    } catch (const std::exception&) {
+      sessions = 0;
+    }
+    if (sessions == 0) return Fail("--sessions expects a positive count");
+  }
+  ConcurrentOptions options;
+  if (auto it = flags.values.find("batch"); it != flags.values.end()) {
+    try {
+      options.group_commit.max_batch = std::stoull(it->second);
+    } catch (const std::exception&) {
+      options.group_commit.max_batch = 0;
+    }
+    if (options.group_commit.max_batch == 0) {
+      return Fail("--batch expects a positive batch size");
+    }
+  }
+
+  Env* env = Env::Default();
+  if (flags.fresh) {
+    Status reset = ResetWalDir(env, wal_dir);
+    if (!reset.ok()) return Fail("cannot reset state: " + reset.ToString());
+  }
+  ConcurrentExecutor exec(env, wal_dir, options);
+  Status started = exec.Start();
+  if (!started.ok()) return Fail("recovery failed: " + started.ToString());
+  if (flags.recover) ReportRecovery(exec.transaction_number(),
+                                    exec.last_recovery());
+
+  // Statements in flight: resolved whenever the pipeline drains, so a
+  // command error is reported near its statement, not at script end.
+  std::vector<std::pair<std::string, std::future<Result<TransactionNumber>>>>
+      inflight;
+  auto settle = [&]() -> int {
+    if (!exec.Drain().ok()) return 1;
+    for (auto& [text, future] : inflight) {
+      Result<TransactionNumber> result = future.get();
+      if (result.ok()) continue;
+      if (!flags.lax || !exec.healthy()) {
+        return Fail(result.status().ToString() + " [" + text + "]");
+      }
+      std::cerr << "ttra: " << result.status().ToString() << " [" << text
+                << "] (continuing)\n";
+    }
+    inflight.clear();
+    return 0;
+  };
+
+  for (const lang::Stmt& raw : *program) {
+    const auto* modify = std::get_if<lang::ModifyStateStmt>(&raw);
+    const auto* show = std::get_if<lang::ShowStmt>(&raw);
+    // A constant modify_state needs no database to evaluate, so it can be
+    // enqueued without draining; anything that reads state (including the
+    // facts-driven optimizer) must wait for its own writes.
+    const bool needs_state =
+        show != nullptr || flags.optimize ||
+        (modify != nullptr &&
+         modify->expr.kind() != lang::Expr::Kind::kConst);
+    Database db;
+    if (needs_state) {
+      if (int rc = settle(); rc != 0) return rc;
+      db = exec.Snapshot();
+    }
+    lang::Catalog catalog(db);
+    const lang::Stmt stmt =
+        flags.optimize ? OptimizeStmt(raw, catalog, db) : raw;
+    if (flags.explain) {
+      std::cout << "-- " << lang::StmtToString(stmt) << "\n";
+      if (const lang::Expr* expr = StmtExpr(stmt)) {
+        std::cout << lang::FormatExprTree(*expr);
+      }
+    }
+    if (show != nullptr) {
+      const auto* pipelined_show = std::get_if<lang::ShowStmt>(&stmt);
+      // Evaluate on N pinned sessions concurrently. They all open at the
+      // drained epoch, so E⟦·⟧ purity demands byte-identical tables; a
+      // disagreement is an isolation bug, not a user error.
+      std::vector<Session> views;
+      views.reserve(sessions);
+      for (size_t s = 0; s < sessions; ++s) views.push_back(exec.OpenSession());
+      std::vector<Result<lang::StateValue>> results(
+          sessions, Result<lang::StateValue>(InternalError("not evaluated")));
+      std::vector<std::thread> evaluators;
+      evaluators.reserve(sessions);
+      for (size_t s = 0; s < sessions; ++s) {
+        evaluators.emplace_back([&, s]() {
+          results[s] =
+              lang::EvalExpr(pipelined_show->expr, views[s].database());
+        });
+      }
+      for (auto& t : evaluators) t.join();
+      Status status = Status::Ok();
+      std::string table;
+      for (size_t s = 0; s < sessions; ++s) {
+        if (!results[s].ok()) {
+          status = results[s].status();
+          break;
+        }
+        std::string rendered = lang::FormatTable(*results[s]);
+        if (s == 0) {
+          table = std::move(rendered);
+        } else if (rendered != table) {
+          return Fail("session disagreement at epoch " +
+                      std::to_string(views[s].epoch()) +
+                      ": isolation bug (please report)");
+        }
+      }
+      if (status.ok()) {
+        std::cout << table;
+      } else if (!flags.lax) {
+        return Fail(status.ToString());
+      } else {
+        std::cerr << "ttra: " << status.ToString() << " (continuing)\n";
+      }
+      continue;
+    }
+    auto command = StmtToCommand(stmt, db);
+    if (!command.ok()) {
+      if (!flags.lax) return Fail(command.status().ToString());
+      std::cerr << "ttra: " << command.status().ToString()
+                << " (continuing)\n";
+      continue;
+    }
+    std::vector<Command> sentence;
+    sentence.push_back(*std::move(command));
+    inflight.emplace_back(lang::StmtToString(stmt),
+                          exec.SubmitAsync(std::move(sentence)));
+  }
+  if (int rc = settle(); rc != 0) return rc;
+
+  const ConcurrentExecutor::Stats stats = exec.stats();
+  exec.Stop();
+  std::cout << "ok (transaction " << exec.transaction_number() << ")\n";
+  std::cout << "group commit: " << stats.commits << " commit(s) in "
+            << stats.batches << " batch(es), largest " << stats.max_batch
+            << ", " << stats.wal.syncs << " fsync(s)\n";
+  return SaveIfRequested(exec.Snapshot(), flags);
 }
 
 /// `run --wal-dir`: the script executes through a DurableExecutor, so
@@ -184,14 +374,8 @@ int CmdRunDurable(const Flags& flags, const std::string& wal_dir) {
 
   Env* env = Env::Default();
   if (flags.fresh) {
-    for (const char* name : {"wal.log", "checkpoint.db", "checkpoint.db.tmp"}) {
-      const std::string path = wal_dir + "/" + std::string(name);
-      if (!env->Exists(path)) continue;
-      Status removed = env->Remove(path);
-      if (!removed.ok()) {
-        return Fail("cannot reset " + path + ": " + removed.ToString());
-      }
-    }
+    Status reset = ResetWalDir(env, wal_dir);
+    if (!reset.ok()) return Fail("cannot reset state: " + reset.ToString());
   }
   DurableExecutor exec(env, wal_dir);
   Status opened = exec.Open();
@@ -234,9 +418,16 @@ int CmdRun(const Flags& flags) {
   if (flags.positional.size() != 2) {
     return Fail("usage: ttra run <script> [--db f] [--save f] [--lax] "
                 "[--optimize] [--explain] [--wal-dir d] [--fresh] "
-                "[--recover]");
+                "[--recover] [--group-commit] [--sessions n] [--batch k]");
   }
   auto wal_dir = flags.values.find("wal-dir");
+  if (flags.group_commit || flags.values.count("sessions") ||
+      flags.values.count("batch")) {
+    if (wal_dir == flags.values.end()) {
+      return Fail("--group-commit/--sessions/--batch require --wal-dir");
+    }
+    return CmdRunConcurrent(flags, wal_dir->second);
+  }
   if (wal_dir != flags.values.end()) {
     return CmdRunDurable(flags, wal_dir->second);
   }
