@@ -42,6 +42,10 @@ std::string_view DiagnosticCodeForError(ErrorCode code) {
       return "TTRA-E010";
     case ErrorCode::kUnavailable:
       return "TTRA-E011";
+    case ErrorCode::kResourceExhausted:
+      return "TTRA-E012";
+    case ErrorCode::kReadOnly:
+      return "TTRA-E013";
   }
   return "TTRA-E999";
 }
@@ -58,6 +62,8 @@ std::string_view DiagnosticCodeSummary(std::string_view code) {
   if (code == "TTRA-E009") return "internal invariant violated";
   if (code == "TTRA-E010") return "filesystem operation failed";
   if (code == "TTRA-E011") return "component refuses work until recovered";
+  if (code == "TTRA-E012") return "storage resource exhausted (disk full)";
+  if (code == "TTRA-E013") return "read-only degraded mode rejects writes";
   if (code == kWarnUseBeforeDefine)
     return "relation used before the statement that defines it";
   if (code == kWarnKindNeverMatches)

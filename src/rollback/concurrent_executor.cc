@@ -39,6 +39,8 @@ Status ConcurrentExecutor::Start() {
     MutexLock lock(publish_mutex_);
     submitted_ = 0;
     completed_ = 0;
+    degraded_ = false;
+    degraded_reason_ = Status::Ok();
   }
   queue_ = std::make_unique<BoundedQueue<Pending>>(
       options_.group_commit.queue_capacity);
@@ -56,6 +58,20 @@ void ConcurrentExecutor::Stop() {
 
 std::future<Result<TransactionNumber>> ConcurrentExecutor::SubmitAsync(
     std::vector<Command> sentence, bool atomic) {
+  {
+    // Degraded mode rejects at the door: no queue traffic, no writer
+    // round-trip, a clean kReadOnly the caller can distinguish from both
+    // command errors and not-running (kUnavailable).
+    MutexLock lock(publish_mutex_);
+    if (degraded_) {
+      ++stats_.rejected_read_only;
+      std::promise<Result<TransactionNumber>> refused;
+      refused.set_value(ReadOnlyError(
+          "executor is in read-only degraded mode (" +
+          degraded_reason_.ToString() + "); repair storage and reopen"));
+      return refused.get_future();
+    }
+  }
   Pending pending;
   pending.sentence = std::move(sentence);
   pending.atomic = atomic;
@@ -124,10 +140,29 @@ Database ConcurrentExecutor::Snapshot() const {
 
 Status ConcurrentExecutor::Checkpoint() { return durable_.Checkpoint(); }
 
+bool ConcurrentExecutor::degraded() const {
+  MutexLock lock(publish_mutex_);
+  return degraded_;
+}
+
+Status ConcurrentExecutor::degraded_reason() const {
+  MutexLock lock(publish_mutex_);
+  return degraded_reason_;
+}
+
+void ConcurrentExecutor::EnterDegraded(const Status& reason) {
+  MutexLock lock(publish_mutex_);
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_reason_ = reason;
+}
+
 ConcurrentExecutor::Stats ConcurrentExecutor::stats() const {
   MutexLock lock(publish_mutex_);
   Stats stats = stats_;
+  stats.degraded = degraded_;
   stats.wal = durable_.wal_stats();
+  stats.health = durable_.health();
   return stats;
 }
 
@@ -143,6 +178,29 @@ void ConcurrentExecutor::WriterLoop() {
         options_.group_commit.max_batch, options_.group_commit.max_latency);
     if (batch.empty()) return;  // closed and fully drained
 
+    if (degraded()) {
+      // Permanent write failure already happened: drain the queue by
+      // failing every pending sentence with the distinct read-only code.
+      // The loop keeps running so Stop() still works and sessions keep
+      // being served from the published snapshot.
+      const Status refusal = ReadOnlyError(
+          "executor is in read-only degraded mode (" +
+          degraded_reason().ToString() + "); repair storage and reopen");
+      {
+        MutexLock lock(publish_mutex_);
+        stats_.rejected_read_only += batch.size();
+      }
+      for (Pending& pending : batch) {
+        pending.promise.set_value(refusal);
+      }
+      {
+        MutexLock lock(publish_mutex_);
+        completed_ += batch.size();
+      }
+      drained_.SignalAll();
+      continue;
+    }
+
     std::vector<GroupEntry> entries;
     entries.reserve(batch.size());
     for (Pending& pending : batch) {
@@ -151,6 +209,17 @@ void ConcurrentExecutor::WriterLoop() {
     }
     std::vector<Result<TransactionNumber>> results =
         durable_.SubmitGroup(entries);
+
+    if (!durable_.healthy()) {
+      // The batch failed on I/O (every result carries the same status,
+      // already the real error for these callers) and the durable layer
+      // is failed-stop. Flip to read-only: later sentences get kReadOnly.
+      Status reason = durable_.health().last_write_error;
+      if (reason.ok() && !results.empty() && !results.front().ok()) {
+        reason = results.front().status();
+      }
+      EnterDegraded(reason);
+    }
 
     // Publish the post-batch snapshot BEFORE resolving promises:
     // read-your-writes — a producer whose commit is acknowledged opens

@@ -153,12 +153,25 @@ class ConcurrentExecutor {
   }
   const std::string& dir() const { return durable_.dir(); }
 
+  /// True once a permanent write failure has flipped the executor into
+  /// read-only degraded mode: the writer fast-fails every queued and new
+  /// sentence with kReadOnly while existing and new reader sessions keep
+  /// serving the last published epoch. The way out is Stop() + Start()
+  /// (re-recovery from disk) after the storage fault is repaired.
+  bool degraded() const;
+
+  /// The write failure that triggered degraded mode (OK when healthy).
+  Status degraded_reason() const;
+
   /// Group-commit effectiveness counters.
   struct Stats {
     uint64_t commits = 0;       ///< sentences committed (or refused)
     uint64_t batches = 0;       ///< group commits (WAL records)
     uint64_t max_batch = 0;     ///< largest batch seen
+    uint64_t rejected_read_only = 0;  ///< sentences refused in degraded mode
+    bool degraded = false;      ///< currently in read-only degraded mode
     WalWriter::Stats wal;       ///< physical I/O accounting (syncs!)
+    DurableExecutor::HealthStats health;  ///< retry/fail-stop detail
   };
   Stats stats() const;
 
@@ -171,6 +184,7 @@ class ConcurrentExecutor {
 
   void WriterLoop();
   void PublishSnapshot() TTRA_EXCLUDES(publish_mutex_);
+  void EnterDegraded(const Status& reason) TTRA_EXCLUDES(publish_mutex_);
 
   ConcurrentOptions options_;
   DurableExecutor durable_;
@@ -186,6 +200,8 @@ class ConcurrentExecutor {
   uint64_t completed_ TTRA_GUARDED_BY(publish_mutex_) = 0;
   CondVar drained_;
   Stats stats_ TTRA_GUARDED_BY(publish_mutex_);
+  bool degraded_ TTRA_GUARDED_BY(publish_mutex_) = false;
+  Status degraded_reason_ TTRA_GUARDED_BY(publish_mutex_);
 };
 
 }  // namespace ttra

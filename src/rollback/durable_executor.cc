@@ -1,5 +1,8 @@
 #include "rollback/durable_executor.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace ttra {
 
 namespace {
@@ -127,6 +130,19 @@ Status DurableExecutor::Open() {
   // the transaction sequence is genuine corruption.
   if (env_->Exists(wal_.path())) {
     TTRA_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(*env_, wal_.path()));
+    if (wal.records_after_hole > 0) {
+      // Intact records lie BEYOND the first damage. Power loss cannot
+      // produce that shape — only mid-log corruption can — and replaying
+      // just the prefix would silently drop acknowledged commits. Refuse;
+      // the operator decides the cut with `ttra fsck --repair`.
+      return CorruptionError(
+          "wal has mid-log corruption at byte " +
+          std::to_string(wal.invalid_offset) + " (" +
+          std::string(WalCorruptionCauseName(wal.cause)) + ") with " +
+          std::to_string(wal.records_after_hole) +
+          " intact record(s) stranded after it; refusing to recover — run "
+          "`ttra fsck --repair` to quarantine the damage");
+    }
     last_recovery_.torn_tail = wal.torn_tail;
     for (const std::string& record : wal.records) {
       TTRA_RETURN_IF_ERROR(ReplayRecord(db, record));
@@ -142,8 +158,47 @@ Status DurableExecutor::Open() {
   exec_.Reset(std::move(db));
   commits_since_sync_ = 0;
   commits_since_checkpoint_ = 0;
+  last_write_error_ = Status::Ok();
   healthy_ = true;
   return Status::Ok();
+}
+
+void DurableExecutor::FailStopLocked(const Status& status) {
+  healthy_ = false;
+  last_write_error_ = status;
+}
+
+Status DurableExecutor::RetryWalOp(const std::function<Status()>& op,
+                                   bool reset_tail) {
+  const RetryOptions& retry = options_.retry;
+  const size_t max_attempts = std::max<size_t>(1, retry.max_attempts);
+  std::chrono::microseconds backoff = retry.initial_backoff;
+  bool retried = false;
+  Status status = op();
+  for (size_t attempt = 1; attempt < max_attempts; ++attempt) {
+    if (status.ok()) break;
+    // Only kIoError is transient. ENOSPC, corruption, etc. cannot heal by
+    // waiting, so burning the retry budget on them just delays fail-stop.
+    if (status.code() != ErrorCode::kIoError) return status;
+    ++transient_retries_;
+    retried = true;
+    if (retry.sleeper) {
+      retry.sleeper(backoff);
+    } else {
+      std::this_thread::sleep_for(backoff);
+    }
+    backoff = std::min(backoff * 2, retry.max_backoff);
+    if (reset_tail) {
+      // A failed append may have left a torn frame; cut back to the last
+      // good boundary so the retried record is reachable. If the cut
+      // itself fails (the outage is still on), skip the re-append — it
+      // would land behind the torn bytes — and spend the attempt.
+      if (!wal_.ResetTail().ok()) continue;
+    }
+    status = op();
+  }
+  if (status.ok() && retried) ++retry_successes_;
+  return status;
 }
 
 Status DurableExecutor::ReplayRecord(Database& db, std::string_view record) {
@@ -183,11 +238,15 @@ Result<TransactionNumber> DurableExecutor::SubmitInternal(
   }
 
   // Log first: once the record is (per policy) on disk, applying it is
-  // deterministic, so memory and log cannot diverge.
+  // deterministic, so memory and log cannot diverge. Transient append
+  // failures are retried after cutting any torn frame back.
   const TransactionNumber pre_txn = exec_.transaction_number();
-  Status status = wal_.AddRecord(EncodeRecord(atomic, pre_txn, sentence));
+  const std::string record = EncodeRecord(atomic, pre_txn, sentence);
+  Status status = RetryWalOp([this, &record]() TTRA_REQUIRES(commit_mutex_) {
+    return wal_.AddRecord(record);
+  }, /*reset_tail=*/true);
   if (!status.ok()) {
-    healthy_ = false;
+    FailStopLocked(status);
     return status;
   }
   ++commits_since_sync_;
@@ -196,9 +255,11 @@ Result<TransactionNumber> DurableExecutor::SubmitInternal(
       (options_.sync_policy == SyncPolicy::kBatch &&
        commits_since_sync_ >= options_.batch_size);
   if (sync_now) {
-    status = wal_.Sync();
+    status = RetryWalOp([this]() TTRA_REQUIRES(commit_mutex_) {
+      return wal_.Sync();
+    }, /*reset_tail=*/false);
     if (!status.ok()) {
-      healthy_ = false;
+      FailStopLocked(status);
       return status;
     }
     commits_since_sync_ = 0;
@@ -279,8 +340,11 @@ std::vector<Result<TransactionNumber>> DurableExecutor::SubmitGroup(
 
   // One record, one (policy-dependent) sync for the whole batch. The
   // single checksummed record is what makes the batch atomic across a
-  // crash: recovery replays all of it or none of it.
-  Status io = wal_.AddRecord(payload);
+  // crash: recovery replays all of it or none of it. Transient failures
+  // are retried (with the torn frame cut back) before giving up.
+  Status io = RetryWalOp([this, &payload]() TTRA_REQUIRES(commit_mutex_) {
+    return wal_.AddRecord(payload);
+  }, /*reset_tail=*/true);
   if (io.ok()) {
     commits_since_sync_ += entries.size();
     const bool sync_now =
@@ -288,12 +352,14 @@ std::vector<Result<TransactionNumber>> DurableExecutor::SubmitGroup(
         (options_.sync_policy == SyncPolicy::kBatch &&
          commits_since_sync_ >= options_.batch_size);
     if (sync_now) {
-      io = wal_.Sync();
+      io = RetryWalOp([this]() TTRA_REQUIRES(commit_mutex_) {
+        return wal_.Sync();
+      }, /*reset_tail=*/false);
       if (io.ok()) commits_since_sync_ = 0;
     }
   }
   if (!io.ok()) {
-    healthy_ = false;
+    FailStopLocked(io);
     fail_all(io);
     return results;
   }
@@ -319,7 +385,7 @@ Status DurableExecutor::CheckpointLocked() {
   if (!status.ok()) {
     // The WAL file is in an unknown state; stop accepting writes. The
     // checkpoint just written covers everything committed so far.
-    healthy_ = false;
+    FailStopLocked(status);
     return status;
   }
   commits_since_checkpoint_ = 0;
@@ -338,6 +404,16 @@ Status DurableExecutor::Checkpoint() {
 bool DurableExecutor::healthy() const {
   MutexLock lock(commit_mutex_);
   return healthy_;
+}
+
+DurableExecutor::HealthStats DurableExecutor::health() const {
+  MutexLock lock(commit_mutex_);
+  HealthStats stats;
+  stats.healthy = healthy_;
+  stats.transient_retries = transient_retries_;
+  stats.retry_successes = retry_successes_;
+  stats.last_write_error = last_write_error_;
+  return stats;
 }
 
 WalWriter::Stats DurableExecutor::wal_stats() const {

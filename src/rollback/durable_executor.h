@@ -1,6 +1,8 @@
 #ifndef TTRA_ROLLBACK_DURABLE_EXECUTOR_H_
 #define TTRA_ROLLBACK_DURABLE_EXECUTOR_H_
 
+#include <chrono>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,23 @@ enum class SyncPolicy {
 
 std::string_view SyncPolicyName(SyncPolicy policy);
 
+/// How WAL append/sync failures are retried before the executor gives up
+/// and fails stop. Only kIoError is retried — it is the transient class
+/// (a controller hiccup, an interrupted write); kResourceExhausted (disk
+/// full) and kCorruption cannot heal on their own and fail immediately.
+struct RetryOptions {
+  /// Total attempts per WAL operation. 1 = no retry (the default: a
+  /// single failure fails stop, the pre-retry behavior).
+  size_t max_attempts = 1;
+  /// Backoff before the k-th retry: initial_backoff * 2^k, capped at
+  /// max_backoff.
+  std::chrono::microseconds initial_backoff{100};
+  std::chrono::microseconds max_backoff{10'000};
+  /// Injectable sleep so tests drive backoff with a fake clock instead of
+  /// wall-clock sleeps. Unset = std::this_thread::sleep_for.
+  std::function<void(std::chrono::microseconds)> sleeper;
+};
+
 struct DurableOptions {
   DatabaseOptions db;
   SyncPolicy sync_policy = SyncPolicy::kAlways;
@@ -36,6 +55,8 @@ struct DurableOptions {
   /// Auto-checkpoint (and truncate the WAL) every N commits; 0 = only when
   /// Checkpoint() is called.
   size_t checkpoint_every = 0;
+  /// Transient-failure retry policy for WAL appends and syncs.
+  RetryOptions retry;
 };
 
 /// One entry of a group commit: a sentence plus its submit mode.
@@ -144,6 +165,17 @@ class DurableExecutor {
   /// False after a WAL write failure (submits return kUnavailable).
   bool healthy() const;
 
+  /// Operator-facing health: whether the executor accepts writes, how
+  /// hard the retry layer has been working, and what finally tripped
+  /// fail-stop.
+  struct HealthStats {
+    bool healthy = false;
+    uint64_t transient_retries = 0;  ///< individual WAL ops retried
+    uint64_t retry_successes = 0;    ///< WAL ops that succeeded on a retry
+    Status last_write_error;         ///< what tripped fail-stop (OK if none)
+  };
+  HealthStats health() const;
+
   /// Physical-I/O accounting of the write-ahead log since Open(): how many
   /// records, appends, and fsyncs the commit stream cost. The group-commit
   /// payoff is syncs << records.
@@ -167,6 +199,16 @@ class DurableExecutor {
   Status CheckpointLocked() TTRA_REQUIRES(commit_mutex_);
   Status ReplayRecord(Database& db, std::string_view record);
 
+  /// Runs a WAL operation with the configured bounded-backoff retry.
+  /// `reset_tail` cuts the log back to the last good record boundary
+  /// before each retry — required for appends, whose failure may leave a
+  /// torn frame that would strand the retried record behind a hole.
+  Status RetryWalOp(const std::function<Status()>& op, bool reset_tail)
+      TTRA_REQUIRES(commit_mutex_);
+
+  /// Records a permanent write failure and flips fail-stop.
+  void FailStopLocked(const Status& status) TTRA_REQUIRES(commit_mutex_);
+
   Env* env_;
   std::string dir_;
   DurableOptions options_;
@@ -181,6 +223,9 @@ class DurableExecutor {
   size_t commits_since_sync_ TTRA_GUARDED_BY(commit_mutex_) = 0;
   size_t commits_since_checkpoint_ TTRA_GUARDED_BY(commit_mutex_) = 0;
   RecoveryInfo last_recovery_ TTRA_GUARDED_BY(commit_mutex_);
+  uint64_t transient_retries_ TTRA_GUARDED_BY(commit_mutex_) = 0;
+  uint64_t retry_successes_ TTRA_GUARDED_BY(commit_mutex_) = 0;
+  Status last_write_error_ TTRA_GUARDED_BY(commit_mutex_);
 };
 
 }  // namespace ttra

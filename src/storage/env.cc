@@ -68,6 +68,25 @@ Status PosixEnv::Truncate(const std::string& path) {
   return Status::Ok();
 }
 
+Status PosixEnv::TruncateTo(const std::string& path, uint64_t size) {
+  {
+    MutexLock lock(mutex_);
+    // The cached descriptor is O_APPEND, so later appends land after the
+    // cut regardless, but drop it anyway: its idea of the file is stale.
+    DropFdLocked(path);
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  if (static_cast<uint64_t>(st.st_size) < size) {
+    return InvalidArgumentError("truncate-to beyond end of " + path);
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  // Make the new length durable before anyone appends after the cut.
+  return FsyncPath(path, O_WRONLY);
+}
+
 Status PosixEnv::Append(const std::string& path, std::string_view data) {
   MutexLock lock(mutex_);
   TTRA_ASSIGN_OR_RETURN(int fd, OpenForAppendLocked(path));
@@ -169,6 +188,19 @@ Status InMemoryEnv::Truncate(const std::string& path) {
   return Status::Ok();
 }
 
+Status InMemoryEnv::TruncateTo(const std::string& path, uint64_t size) {
+  MutexLock lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return IoError("no such file: " + path);
+  FileState& file = it->second;
+  if (size > file.data.size()) {
+    return InvalidArgumentError("truncate-to beyond end of " + path);
+  }
+  file.data.resize(size);
+  file.synced_size = std::min<size_t>(file.synced_size, size);
+  return Status::Ok();
+}
+
 Status InMemoryEnv::Append(const std::string& path, std::string_view data) {
   MutexLock lock(mutex_);
   files_[path].data.append(data);
@@ -245,6 +277,19 @@ void InMemoryEnv::DropUnsynced() {
 
 // --- FaultInjectionEnv -----------------------------------------------------
 
+void FaultInjectionEnv::ArmPlan(uint64_t seed, const FaultPlanOptions& plan) {
+  MutexLock lock(mutex_);
+  plan_rng_.emplace(seed);
+  plan_ = plan;
+  transient_remaining_ = 0;
+}
+
+void FaultInjectionEnv::DisarmPlan() {
+  MutexLock lock(mutex_);
+  plan_rng_.reset();
+  transient_remaining_ = 0;
+}
+
 bool FaultInjectionEnv::NextOpFaults(FaultMode* mode) {
   MutexLock lock(mutex_);
   ++op_count_;
@@ -254,12 +299,59 @@ bool FaultInjectionEnv::NextOpFaults(FaultMode* mode) {
     if (mode != nullptr) *mode = mode_;
     return true;
   }
+  if (plan_rng_.has_value()) {
+    if (transient_remaining_ > 0) {
+      // Inside an EIO burst: keep failing until it runs out.
+      --transient_remaining_;
+      ++plan_stats_.transient_failures;
+      if (mode != nullptr) *mode = FaultMode::kFailOp;
+      return true;
+    }
+    if (plan_.transient_error_rate > 0.0 &&
+        plan_rng_->Bernoulli(plan_.transient_error_rate)) {
+      const uint64_t max_burst = std::max<uint32_t>(1, plan_.max_transient_burst);
+      transient_remaining_ =
+          static_cast<uint32_t>(plan_rng_->Uniform(max_burst));  // burst - 1
+      ++plan_stats_.transient_failures;
+      if (mode != nullptr) *mode = FaultMode::kFailOp;
+      return true;
+    }
+  }
   return false;
+}
+
+void FaultInjectionEnv::MaybeDamageForRead(const std::string& path) {
+  MutexLock lock(mutex_);
+  if (!plan_rng_.has_value()) return;
+  auto it = files_.find(path);
+  if (it == files_.end() || it->second.data.empty()) return;
+  FileState& file = it->second;
+  if (plan_.read_bit_flip_rate > 0.0 &&
+      plan_rng_->Bernoulli(plan_.read_bit_flip_rate)) {
+    const uint64_t offset = plan_rng_->Uniform(file.data.size());
+    file.data[offset] ^= static_cast<char>(1u << plan_rng_->Uniform(8));
+    ++plan_stats_.bit_flips;
+    damage_log_.push_back(DamageEvent{path, offset, 1});
+  }
+  if (plan_.read_truncate_rate > 0.0 && !file.data.empty() &&
+      plan_rng_->Bernoulli(plan_.read_truncate_rate)) {
+    const uint64_t keep = plan_rng_->Uniform(file.data.size());
+    const uint64_t lost = file.data.size() - keep;
+    file.data.resize(keep);
+    file.synced_size = std::min<size_t>(file.synced_size, file.data.size());
+    ++plan_stats_.media_truncations;
+    damage_log_.push_back(DamageEvent{path, keep, lost});
+  }
 }
 
 Status FaultInjectionEnv::Truncate(const std::string& path) {
   if (NextOpFaults()) return IoError("injected fault: truncate " + path);
   return InMemoryEnv::Truncate(path);
+}
+
+Status FaultInjectionEnv::TruncateTo(const std::string& path, uint64_t size) {
+  if (NextOpFaults()) return IoError("injected fault: truncate-to " + path);
+  return InMemoryEnv::TruncateTo(path, size);
 }
 
 Status FaultInjectionEnv::Append(const std::string& path,
@@ -272,12 +364,52 @@ Status FaultInjectionEnv::Append(const std::string& path,
     }
     return IoError("injected fault: append " + path);
   }
+  {
+    MutexLock lock(mutex_);
+    if (plan_rng_.has_value()) {
+      if (plan_.capacity_bytes > 0) {
+        uint64_t total = 0;
+        for (const auto& [p, file] : files_) total += file.data.size();
+        if (total + data.size() > plan_.capacity_bytes) {
+          ++plan_stats_.enospc_failures;
+          return ResourceExhaustedError("no space left on device: " + path);
+        }
+      }
+      if (plan_.torn_append_rate > 0.0 && !data.empty() &&
+          plan_rng_->Bernoulli(plan_.torn_append_rate)) {
+        // A strict prefix lands; the op still reports failure. TruncateTo
+        // back to the pre-append size makes the retry clean.
+        const uint64_t landed = plan_rng_->Uniform(data.size());
+        files_[path].data.append(data.substr(0, landed));
+        ++plan_stats_.torn_appends;
+        return IoError("injected torn append: " + path);
+      }
+    }
+  }
   return InMemoryEnv::Append(path, data);
 }
 
 Status FaultInjectionEnv::Sync(const std::string& path) {
   if (NextOpFaults()) return IoError("injected fault: sync " + path);
+  {
+    MutexLock lock(mutex_);
+    if (plan_rng_.has_value() && plan_.lying_sync_rate > 0.0 &&
+        plan_rng_->Bernoulli(plan_.lying_sync_rate)) {
+      // Report success without advancing synced_size: the bytes evaporate
+      // at the next Crash() even though the caller was told they are safe.
+      ++plan_stats_.lying_syncs;
+      return Status::Ok();
+    }
+  }
   return InMemoryEnv::Sync(path);
+}
+
+Result<std::string> FaultInjectionEnv::Read(const std::string& path) const {
+  // Reads are not counted ops (the one-shot crash sweep only walks
+  // mutations), but the plan's media damage lands before the bytes are
+  // served. Damage mutates stored state, hence the const_cast.
+  const_cast<FaultInjectionEnv*>(this)->MaybeDamageForRead(path);
+  return InMemoryEnv::Read(path);
 }
 
 Status FaultInjectionEnv::Rename(const std::string& from,

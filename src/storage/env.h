@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "util/mutex.h"
+#include "util/random.h"
 #include "util/result.h"
 
 namespace ttra {
@@ -31,6 +33,13 @@ class Env {
 
   /// Creates `path` as an empty file (truncating any existing content).
   virtual Status Truncate(const std::string& path) = 0;
+
+  /// Truncates `path` to exactly `size` bytes (must not exceed the current
+  /// file size). The write-path repair primitive: a failed append may
+  /// leave a torn frame, and truncating back to the last known-good
+  /// boundary makes the append retryable; `ttra fsck --repair` uses it to
+  /// cut a corrupt tail after quarantining it.
+  virtual Status TruncateTo(const std::string& path, uint64_t size) = 0;
 
   /// Appends `data` to `path`, creating it if absent.
   virtual Status Append(const std::string& path, std::string_view data) = 0;
@@ -67,6 +76,7 @@ class PosixEnv : public Env {
   ~PosixEnv() override;
 
   Status Truncate(const std::string& path) override;
+  Status TruncateTo(const std::string& path, uint64_t size) override;
   Status Append(const std::string& path, std::string_view data) override;
   Status Sync(const std::string& path) override;
   Result<std::string> Read(const std::string& path) const override;
@@ -93,6 +103,7 @@ class PosixEnv : public Env {
 class InMemoryEnv : public Env {
  public:
   Status Truncate(const std::string& path) override;
+  Status TruncateTo(const std::string& path, uint64_t size) override;
   Status Append(const std::string& path, std::string_view data) override;
   Status Sync(const std::string& path) override;
   Result<std::string> Read(const std::string& path) const override;
@@ -118,15 +129,52 @@ class InMemoryEnv : public Env {
   std::vector<std::string> dirs_ TTRA_GUARDED_BY(mutex_);
 };
 
-/// In-memory backend that can fail — or tear — the Nth mutating I/O
-/// operation, simulating a crash at every write point of a workload.
+/// Seeded, probabilistic fault schedule for FaultInjectionEnv. Every rate
+/// is a per-operation Bernoulli probability; drawing from a fixed seed
+/// makes each schedule reproducible, so a failing torture-test seed
+/// replays the exact same failure history.
+struct FaultPlanOptions {
+  /// Per counted mutating op: probability of starting a transient-EIO
+  /// burst. The op fails with kIoError, as do the next `burst - 1`
+  /// counted ops (burst drawn uniformly from [1, max_transient_burst]);
+  /// then the env heals — the schedule a bounded retry loop rides out.
+  double transient_error_rate = 0.0;
+  uint32_t max_transient_burst = 3;
+  /// Per Append: probability the write tears — a prefix of the data
+  /// lands, kIoError is returned. Transient: TruncateTo back to the last
+  /// good boundary followed by a retry succeeds.
+  double torn_append_rate = 0.0;
+  /// Per Sync: probability the fsync lies — it reports OK without making
+  /// anything durable (the bytes vanish at the next Crash()). Models
+  /// firmware that acknowledges flushes it never performed.
+  double lying_sync_rate = 0.0;
+  /// Per Read: probability one stored byte of the file is flipped before
+  /// the read — sticky media damage (bit rot), recorded in damage_log().
+  double read_bit_flip_rate = 0.0;
+  /// Per Read: probability the stored file loses a random suffix before
+  /// the read — sticky partial-media loss, recorded in damage_log().
+  double read_truncate_rate = 0.0;
+  /// Total bytes the backing store holds across all files; appends that
+  /// would exceed it fail with kResourceExhausted (persistent ENOSPC)
+  /// until space is freed. 0 = unlimited.
+  uint64_t capacity_bytes = 0;
+};
+
+/// In-memory backend that injects failures, simulating the whole failure
+/// matrix instead of hoping kill -9 or a dying disk lands somewhere
+/// interesting. Two mechanisms compose:
 ///
-/// Counted operations: Truncate, Append, Sync, Rename, Remove. The fault
-/// fires once, on the `nth` counted op (1-based), and then disarms:
-///  * kFailOp     — the op does nothing and returns kIoError.
-///  * kTornAppend — an Append writes only a prefix of its data before
-///                  returning kIoError (non-append ops fall back to
-///                  kFailOp). Models a torn write mid-record.
+///  * One-shot faults (InjectFault): fail — or tear — the Nth counted
+///    mutating op (Truncate, TruncateTo, Append, Sync, Rename, Remove),
+///    then disarm. The crash-sweep primitive: arm n = 1..op_count().
+///  * Fault plans (ArmPlan): a seeded probabilistic schedule of transient
+///    EIO bursts, torn appends, lying fsyncs, read-path media damage and
+///    ENOSPC — see FaultPlanOptions. The torture-test primitive.
+///
+/// Media damage (bit flips, lost suffixes) is sticky: it mutates the
+/// stored bytes, exactly like rot on a platter, and every event is
+/// recorded in damage_log() so an oracle can reason about which commits
+/// the damage may legally have destroyed.
 class FaultInjectionEnv : public InMemoryEnv {
  public:
   enum class FaultMode { kFailOp, kTornAppend };
@@ -144,6 +192,39 @@ class FaultInjectionEnv : public InMemoryEnv {
     fault_at_ = 0;
   }
 
+  /// Arms a seeded probabilistic fault plan (replacing any armed plan).
+  /// Composes with InjectFault: the one-shot fault is checked first.
+  void ArmPlan(uint64_t seed, const FaultPlanOptions& plan);
+
+  /// Disarms the plan. Sticky media damage already dealt stays.
+  void DisarmPlan();
+
+  /// One sticky media-damage event dealt by the plan's read-path faults.
+  struct DamageEvent {
+    std::string path;
+    uint64_t offset = 0;  ///< first damaged byte
+    uint64_t bytes = 0;   ///< 1 for a bit flip, suffix length for a cut
+  };
+  std::vector<DamageEvent> damage_log() const {
+    MutexLock lock(mutex_);
+    return damage_log_;
+  }
+
+  /// Plan bookkeeping, for oracles that must know which fault classes
+  /// actually fired on a given seed.
+  struct PlanStats {
+    uint64_t transient_failures = 0;  ///< ops failed by EIO bursts
+    uint64_t torn_appends = 0;
+    uint64_t lying_syncs = 0;  ///< syncs acknowledged but not performed
+    uint64_t bit_flips = 0;
+    uint64_t media_truncations = 0;
+    uint64_t enospc_failures = 0;
+  };
+  PlanStats plan_stats() const {
+    MutexLock lock(mutex_);
+    return plan_stats_;
+  }
+
   /// Total counted ops so far (use a fault-free run to size the fault
   /// sweep).
   uint64_t op_count() const {
@@ -151,22 +232,26 @@ class FaultInjectionEnv : public InMemoryEnv {
     return op_count_;
   }
 
-  /// True once the armed fault has fired.
+  /// True once the armed one-shot fault has fired.
   bool fault_triggered() const {
     MutexLock lock(mutex_);
     return triggered_;
   }
 
-  /// Fault fired (or was about to): simulate the crash that follows —
-  /// disarm and drop unsynced bytes.
+  /// Simulate the crash that follows a fault: disarm everything (a new
+  /// process starts with a healthy environment; media damage stays) and
+  /// drop unsynced bytes — including bytes a lying fsync claimed durable.
   void Crash() {
     ClearFault();
+    DisarmPlan();
     DropUnsynced();
   }
 
   Status Truncate(const std::string& path) override;
+  Status TruncateTo(const std::string& path, uint64_t size) override;
   Status Append(const std::string& path, std::string_view data) override;
   Status Sync(const std::string& path) override;
+  Result<std::string> Read(const std::string& path) const override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
 
@@ -175,10 +260,20 @@ class FaultInjectionEnv : public InMemoryEnv {
   /// the armed mode in `*mode`. Caller must NOT hold mutex_.
   bool NextOpFaults(FaultMode* mode = nullptr) TTRA_EXCLUDES(mutex_);
 
+  /// Plan's read-path faults: possibly deals sticky damage to `path`'s
+  /// stored bytes before a Read.
+  void MaybeDamageForRead(const std::string& path) TTRA_EXCLUDES(mutex_);
+
   uint64_t op_count_ TTRA_GUARDED_BY(mutex_) = 0;
   uint64_t fault_at_ TTRA_GUARDED_BY(mutex_) = 0;  // 0 = disarmed
   FaultMode mode_ TTRA_GUARDED_BY(mutex_) = FaultMode::kFailOp;
   bool triggered_ TTRA_GUARDED_BY(mutex_) = false;
+
+  std::optional<Rng> plan_rng_ TTRA_GUARDED_BY(mutex_);  // armed iff set
+  FaultPlanOptions plan_ TTRA_GUARDED_BY(mutex_);
+  uint32_t transient_remaining_ TTRA_GUARDED_BY(mutex_) = 0;
+  std::vector<DamageEvent> damage_log_ TTRA_GUARDED_BY(mutex_);
+  PlanStats plan_stats_ TTRA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ttra

@@ -1,0 +1,279 @@
+#include "storage/salvage.h"
+
+#include <algorithm>
+
+namespace ttra {
+
+namespace {
+
+/// Verdicts are ordered by severity, so "worst so far" is a max.
+void Worsen(SalvageVerdict& verdict, SalvageVerdict candidate) {
+  verdict = std::max(verdict, candidate);
+}
+
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view SalvageVerdictName(SalvageVerdict verdict) {
+  switch (verdict) {
+    case SalvageVerdict::kClean:
+      return "clean";
+    case SalvageVerdict::kTruncatedTail:
+      return "truncated-tail";
+    case SalvageVerdict::kNeedsRepair:
+      return "needs-repair";
+    case SalvageVerdict::kUnrecoverable:
+      return "unrecoverable";
+  }
+  return "unknown";
+}
+
+Result<SalvageReport> ScanStorage(Env* env, const std::string& dir,
+                                  const SalvageOptions& options) {
+  SalvageReport report;
+  const std::string checkpoint = dir + "/" + options.checkpoint_file;
+  const std::string wal = dir + "/" + options.wal_file;
+
+  if (env->Exists(checkpoint)) {
+    report.checkpoint_present = true;
+    Result<std::string> data = env->Read(checkpoint);
+    if (!data.ok()) {
+      report.findings.push_back(SalvageFinding{
+          checkpoint, 0, "io-error", data.status().message()});
+      Worsen(report.verdict, SalvageVerdict::kUnrecoverable);
+    } else {
+      Status valid = options.validate_checkpoint
+                         ? options.validate_checkpoint(*data)
+                         : Status::Ok();
+      if (valid.ok()) {
+        report.checkpoint_valid = true;
+      } else {
+        report.findings.push_back(SalvageFinding{
+            checkpoint, 0, "checkpoint-invalid", valid.message()});
+        Worsen(report.verdict, SalvageVerdict::kUnrecoverable);
+      }
+    }
+  }
+
+  if (!env->Exists(wal)) return report;  // fresh dir or checkpoint-only
+  report.wal_present = true;
+  {
+    // Size the file independently of ReadWal so even a bad-header report
+    // can state how many bytes are at stake.
+    Result<std::string> raw = env->Read(wal);
+    if (raw.ok()) report.wal_size = raw->size();
+  }
+
+  Result<WalReadResult> read = ReadWal(*env, wal);
+  if (!read.ok()) {
+    // Bad magic or unsupported version: the file is not (any longer) a
+    // WAL. Salvageable prefix is empty — repair quarantines it whole.
+    report.findings.push_back(
+        SalvageFinding{wal, 0, "bad-header", read.status().message()});
+    report.wal_valid_size = 0;
+    Worsen(report.verdict, SalvageVerdict::kNeedsRepair);
+    return report;
+  }
+
+  const WalReadResult& r = *read;
+  report.wal_valid_size = r.valid_size;
+  report.wal_valid_records = r.records.size();
+  report.wal_records_after_hole = r.records_after_hole;
+
+  // Semantic pass: a frame can checksum cleanly yet not decode as a
+  // command record (a checksummed write of wrong bytes). The salvageable
+  // prefix ends at the first such record.
+  if (options.validate_record) {
+    for (size_t i = 0; i < r.records.size(); ++i) {
+      Status valid = options.validate_record(r.records[i]);
+      if (valid.ok()) continue;
+      report.findings.push_back(SalvageFinding{
+          wal, r.record_offsets[i], "invalid-record",
+          "record #" + std::to_string(i) + ": " + valid.message()});
+      report.wal_valid_size = r.record_offsets[i];
+      report.wal_valid_records = i;
+      // Frame-intact records beyond this one are stranded behind the cut.
+      report.wal_records_after_hole += r.records.size() - i - 1;
+      Worsen(report.verdict, SalvageVerdict::kNeedsRepair);
+      break;
+    }
+  }
+
+  if (r.cause != WalCorruptionCause::kNone) {
+    report.findings.push_back(SalvageFinding{
+        wal, r.invalid_offset, std::string(WalCorruptionCauseName(r.cause)),
+        "record #" + std::to_string(r.invalid_record_index) +
+            " is invalid at byte " + std::to_string(r.invalid_offset)});
+    if (r.records_after_hole > 0) {
+      report.findings.push_back(SalvageFinding{
+          wal, r.resync_offset, "stranded-records",
+          std::to_string(r.records_after_hole) +
+              " intact record(s) resync after the hole at byte " +
+              std::to_string(r.resync_offset) +
+              "; truncating without repair would drop them"});
+      Worsen(report.verdict, SalvageVerdict::kNeedsRepair);
+    } else {
+      Worsen(report.verdict, SalvageVerdict::kTruncatedTail);
+    }
+  }
+  return report;
+}
+
+Result<SalvageReport> RepairStorage(Env* env, const std::string& dir,
+                                    const SalvageOptions& options) {
+  TTRA_ASSIGN_OR_RETURN(SalvageReport report, ScanStorage(env, dir, options));
+  if (report.verdict == SalvageVerdict::kClean ||
+      report.verdict == SalvageVerdict::kUnrecoverable ||
+      !report.wal_present) {
+    return report;  // nothing to repair, or nothing repair could restore
+  }
+
+  const std::string wal = dir + "/" + options.wal_file;
+  const std::string quarantine = wal + ".quarantine";
+  TTRA_ASSIGN_OR_RETURN(std::string data, env->Read(wal));
+  if (report.wal_valid_size >= data.size() && report.wal_valid_size > 0) {
+    // The damage healed between scan and repair (or the scan raced a
+    // writer); nothing to cut.
+    report.repaired = true;
+    return report;
+  }
+
+  // Quarantine first, truncate second: a crash between the two leaves the
+  // damaged bytes in both places, never in neither.
+  const std::string tail = data.substr(report.wal_valid_size);
+  TTRA_RETURN_IF_ERROR(env->Truncate(quarantine));
+  TTRA_RETURN_IF_ERROR(env->Append(quarantine, tail));
+  TTRA_RETURN_IF_ERROR(env->Sync(quarantine));
+  if (report.wal_valid_size == 0) {
+    // The WAL header itself is damaged: replace the whole file with a
+    // fresh, durably-empty log.
+    WalWriter writer(env, wal);
+    TTRA_RETURN_IF_ERROR(writer.Create());
+  } else {
+    TTRA_RETURN_IF_ERROR(env->TruncateTo(wal, report.wal_valid_size));
+    TTRA_RETURN_IF_ERROR(env->Sync(wal));
+  }
+  report.repaired = true;
+  report.quarantine_path = quarantine;
+  report.quarantined_bytes = tail.size();
+  return report;
+}
+
+std::string FormatSalvageReport(const SalvageReport& report) {
+  std::string out;
+  out += "verdict: " + std::string(SalvageVerdictName(report.verdict)) + "\n";
+  out += "checkpoint: ";
+  out += !report.checkpoint_present ? "absent"
+         : report.checkpoint_valid  ? "valid"
+                                    : "INVALID";
+  out += "\n";
+  if (report.wal_present) {
+    out += "wal: " + std::to_string(report.wal_size) + " byte(s), " +
+           std::to_string(report.wal_valid_records) +
+           " valid record(s), valid prefix " +
+           std::to_string(report.wal_valid_size) + " byte(s)\n";
+    if (report.wal_records_after_hole > 0) {
+      out += "wal: " + std::to_string(report.wal_records_after_hole) +
+             " intact record(s) stranded after the damage\n";
+    }
+  } else {
+    out += "wal: absent\n";
+  }
+  for (const SalvageFinding& f : report.findings) {
+    out += f.file + " @" + std::to_string(f.offset) + " [" + f.cause +
+           "]: " + f.detail + "\n";
+  }
+  if (report.repaired) {
+    out += "repaired: " + std::to_string(report.quarantined_bytes) +
+           " byte(s) quarantined to " + report.quarantine_path + "\n";
+  }
+  return out;
+}
+
+std::string SalvageReportToJson(const SalvageReport& report) {
+  std::string findings;
+  for (const SalvageFinding& f : report.findings) {
+    if (!findings.empty()) findings += ",";
+    findings += "\n    {\"file\": \"" + EscapeJson(f.file) +
+                "\", \"offset\": " + std::to_string(f.offset) +
+                ", \"cause\": \"" + EscapeJson(f.cause) +
+                "\", \"detail\": \"" + EscapeJson(f.detail) + "\"}";
+  }
+  std::string out = "{\n";
+  out += "  \"verdict\": \"" + std::string(SalvageVerdictName(report.verdict)) +
+         "\",\n";
+  out += "  \"exitCode\": " + std::to_string(SalvageExitCode(report)) + ",\n";
+  out += "  \"checkpointPresent\": " +
+         std::string(report.checkpoint_present ? "true" : "false") + ",\n";
+  out += "  \"checkpointValid\": " +
+         std::string(report.checkpoint_valid ? "true" : "false") + ",\n";
+  out += "  \"walPresent\": " +
+         std::string(report.wal_present ? "true" : "false") + ",\n";
+  out += "  \"walSize\": " + std::to_string(report.wal_size) + ",\n";
+  out += "  \"walValidSize\": " + std::to_string(report.wal_valid_size) + ",\n";
+  out += "  \"walValidRecords\": " + std::to_string(report.wal_valid_records) +
+         ",\n";
+  out += "  \"walRecordsAfterHole\": " +
+         std::to_string(report.wal_records_after_hole) + ",\n";
+  out += "  \"repaired\": " +
+         std::string(report.repaired ? "true" : "false") + ",\n";
+  if (report.repaired) {
+    out += "  \"quarantinePath\": \"" + EscapeJson(report.quarantine_path) +
+           "\",\n";
+    out += "  \"quarantinedBytes\": " +
+           std::to_string(report.quarantined_bytes) + ",\n";
+  }
+  out += "  \"findings\": [" + findings;
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+int SalvageExitCode(const SalvageReport& report) {
+  if (report.repaired) return 1;
+  switch (report.verdict) {
+    case SalvageVerdict::kClean:
+      return 0;
+    case SalvageVerdict::kTruncatedTail:
+      return 1;
+    case SalvageVerdict::kNeedsRepair:
+      return 3;
+    case SalvageVerdict::kUnrecoverable:
+      return 4;
+  }
+  return 4;
+}
+
+}  // namespace ttra

@@ -1,0 +1,111 @@
+#ifndef TTRA_STORAGE_SALVAGE_H_
+#define TTRA_STORAGE_SALVAGE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+#include "storage/wal.h"
+
+namespace ttra {
+
+/// Offline inspection and repair of a DurableExecutor storage directory —
+/// the engine behind `ttra fsck`. The scan is read-only and classifies the
+/// damage; repair quarantines the damaged bytes (nothing is ever deleted,
+/// an operator can always reconstruct what was cut) and truncates the WAL
+/// to its last valid prefix so `ttra recover` succeeds.
+///
+/// This layer knows framing and checksums only. Semantic validation — "is
+/// this payload a decodable command record", "do these bytes decode as a
+/// database" — is injected via SalvageOptions callbacks so storage/ never
+/// depends on the rollback layer above it.
+
+/// Overall verdict of a scan, ordered by severity. Maps onto the
+/// documented `ttra fsck` / `ttra recover` exit codes via
+/// SalvageExitCode().
+enum class SalvageVerdict {
+  /// Checkpoint and WAL fully intact.
+  kClean = 0,
+  /// Only a torn tail (the suffix power loss is allowed to take):
+  /// recovery may truncate-and-continue without operator involvement.
+  kTruncatedTail,
+  /// Mid-log corruption, a semantically-bad checksummed record, or a
+  /// damaged WAL header: intact data may lie beyond the damage, so
+  /// recovery refuses until `fsck --repair` decides the cut.
+  kNeedsRepair,
+  /// The checkpoint itself is damaged: there is no base state to rebuild
+  /// from, and repair will not fabricate one.
+  kUnrecoverable,
+};
+
+/// Stable lowercase name, e.g. "needs-repair".
+std::string_view SalvageVerdictName(SalvageVerdict verdict);
+
+/// One damaged region found by the scan.
+struct SalvageFinding {
+  std::string file;     ///< path of the damaged file
+  uint64_t offset = 0;  ///< byte offset of the damage
+  std::string cause;    ///< stable slug (WalCorruptionCauseName, ...)
+  std::string detail;   ///< human-readable explanation
+};
+
+struct SalvageOptions {
+  /// File names inside the directory (the DurableExecutor layout).
+  std::string checkpoint_file = "checkpoint.db";
+  std::string wal_file = "wal.log";
+  /// Semantic validation of one intact WAL record payload; non-OK flags
+  /// the record as corrupt even though its checksum matches. Unset =
+  /// framing/checksum validation only.
+  std::function<Status(std::string_view payload)> validate_record;
+  /// Semantic validation of the checkpoint bytes. Unset = presence only.
+  std::function<Status(std::string_view data)> validate_checkpoint;
+};
+
+struct SalvageReport {
+  SalvageVerdict verdict = SalvageVerdict::kClean;
+  std::vector<SalvageFinding> findings;
+
+  bool checkpoint_present = false;
+  bool checkpoint_valid = false;
+  bool wal_present = false;
+  uint64_t wal_size = 0;
+  /// End of the salvageable prefix: header + every record that is both
+  /// frame-intact and semantically valid. Repair truncates here.
+  uint64_t wal_valid_size = 0;
+  uint64_t wal_valid_records = 0;
+  /// Intact frames stranded beyond the first damage (mid-log hole).
+  uint64_t wal_records_after_hole = 0;
+
+  /// Set by RepairStorage only.
+  bool repaired = false;
+  std::string quarantine_path;
+  uint64_t quarantined_bytes = 0;
+};
+
+/// Scans `dir` without modifying anything.
+Result<SalvageReport> ScanStorage(Env* env, const std::string& dir,
+                                  const SalvageOptions& options = {});
+
+/// Scan, then repair what is repairable: damaged WAL bytes are moved to
+/// "<wal>.quarantine" (overwriting any previous quarantine) and the WAL is
+/// truncated to wal_valid_size. A WAL whose own header is damaged is
+/// quarantined whole and re-created empty. kClean needs nothing;
+/// kUnrecoverable (corrupt checkpoint) is reported but never "repaired".
+Result<SalvageReport> RepairStorage(Env* env, const std::string& dir,
+                                    const SalvageOptions& options = {});
+
+/// Multi-line human rendering of the report.
+std::string FormatSalvageReport(const SalvageReport& report);
+
+/// Stable JSON rendering of the report (for `ttra fsck --json`).
+std::string SalvageReportToJson(const SalvageReport& report);
+
+/// Documented exit code: 0 clean, 1 torn tail (or successfully repaired),
+/// 3 corruption-needs-repair, 4 unrecoverable. 2 is reserved for usage
+/// errors, mirroring `ttra check`.
+int SalvageExitCode(const SalvageReport& report);
+
+}  // namespace ttra
+
+#endif  // TTRA_STORAGE_SALVAGE_H_

@@ -43,14 +43,24 @@ std::string Header() {
 Status WalWriter::Create() {
   TTRA_RETURN_IF_ERROR(env_->Truncate(path_));
   TTRA_RETURN_IF_ERROR(env_->Append(path_, Header()));
-  return env_->Sync(path_);
+  TTRA_RETURN_IF_ERROR(env_->Sync(path_));
+  good_size_ = kHeaderSize;
+  return Status::Ok();
 }
 
 Status WalWriter::OpenForAppend() {
   if (!env_->Exists(path_)) {
     return IoError("wal does not exist: " + path_);
   }
+  // The caller has validated the file with ReadWal, so its current size IS
+  // a record boundary — the initial known-good boundary for ResetTail().
+  TTRA_ASSIGN_OR_RETURN(std::string data, env_->Read(path_));
+  good_size_ = data.size();
   return Status::Ok();
+}
+
+Status WalWriter::ResetTail() {
+  return env_->TruncateTo(path_, good_size_);
 }
 
 namespace {
@@ -71,6 +81,7 @@ Status WalWriter::AddRecord(std::string_view payload) {
   stats_.records += 1;
   stats_.appends += 1;
   stats_.bytes_appended += frame.size();
+  good_size_ += frame.size();
   return Status::Ok();
 }
 
@@ -87,6 +98,7 @@ Status WalWriter::AddRecords(const std::vector<std::string>& payloads) {
   stats_.records += payloads.size();
   stats_.appends += 1;
   stats_.bytes_appended += frames.size();
+  good_size_ += frames.size();
   return Status::Ok();
 }
 
@@ -96,12 +108,46 @@ Status WalWriter::Sync() {
   return Status::Ok();
 }
 
+std::string_view WalCorruptionCauseName(WalCorruptionCause cause) {
+  switch (cause) {
+    case WalCorruptionCause::kNone:
+      return "none";
+    case WalCorruptionCause::kTornFileHeader:
+      return "torn-file-header";
+    case WalCorruptionCause::kTornRecordHeader:
+      return "torn-record-header";
+    case WalCorruptionCause::kTornPayload:
+      return "torn-payload";
+    case WalCorruptionCause::kChecksumMismatch:
+      return "checksum-mismatch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Tries to parse one framed record starting at `pos`; returns the frame's
+/// total size, or 0 if no valid record starts there. A false positive
+/// needs 8 garbage bytes that happen to be a plausible length plus 8 more
+/// matching the payload's FNV-1a — ~2^-64, negligible.
+size_t TryParseRecord(std::string_view data, size_t pos) {
+  if (data.size() - pos < kRecordHeaderSize) return 0;
+  const uint64_t length = GetU64(data, pos);
+  if (length > data.size() - pos - kRecordHeaderSize) return 0;
+  const std::string_view payload = data.substr(pos + kRecordHeaderSize, length);
+  if (Fnv1a(payload) != GetU64(data, pos + 8)) return 0;
+  return kRecordHeaderSize + length;
+}
+
+}  // namespace
+
 Result<WalReadResult> ReadWal(const Env& env, const std::string& path) {
   TTRA_ASSIGN_OR_RETURN(std::string data, env.Read(path));
   WalReadResult result;
   if (data.size() < kHeaderSize) {
     // The header itself never reached disk: an empty (torn-at-birth) log.
     result.torn_tail = !data.empty();
+    if (result.torn_tail) result.cause = WalCorruptionCause::kTornFileHeader;
     return result;
   }
   if (GetU64(data, 0) != kWalMagic) {
@@ -113,18 +159,50 @@ Result<WalReadResult> ReadWal(const Env& env, const std::string& path) {
   size_t pos = kHeaderSize;
   result.valid_size = pos;
   while (pos < data.size()) {
-    if (data.size() - pos < kRecordHeaderSize) break;  // torn record header
+    if (data.size() - pos < kRecordHeaderSize) {
+      result.cause = WalCorruptionCause::kTornRecordHeader;
+      break;
+    }
     const uint64_t length = GetU64(data, pos);
     const uint64_t checksum = GetU64(data, pos + 8);
-    if (length > data.size() - pos - kRecordHeaderSize) break;  // torn payload
+    if (length > data.size() - pos - kRecordHeaderSize) {
+      result.cause = WalCorruptionCause::kTornPayload;
+      break;
+    }
     const std::string_view payload =
         std::string_view(data).substr(pos + kRecordHeaderSize, length);
-    if (Fnv1a(payload) != checksum) break;  // torn or damaged record
+    if (Fnv1a(payload) != checksum) {
+      result.cause = WalCorruptionCause::kChecksumMismatch;
+      break;
+    }
     result.records.emplace_back(payload);
+    result.record_offsets.push_back(pos);
     pos += kRecordHeaderSize + length;
     result.valid_size = pos;
   }
   result.torn_tail = result.valid_size != data.size();
+  if (!result.torn_tail) return result;
+
+  result.invalid_offset = result.valid_size;
+  result.invalid_record_index = result.records.size();
+  // Scan the damaged remainder for a re-synchronizing valid frame. Power
+  // loss only ever tears the *tail*, so any intact frame past the hole is
+  // proof of mid-log corruption (bit rot, a torn-then-overwritten retry):
+  // truncating at valid_size would drop committed records.
+  for (size_t p = result.valid_size + 1;
+       p + kRecordHeaderSize <= data.size(); ++p) {
+    const size_t first = TryParseRecord(data, p);
+    if (first == 0) continue;
+    result.resync_offset = p;
+    size_t q = p;
+    while (q < data.size()) {
+      const size_t frame = TryParseRecord(data, q);
+      if (frame == 0) break;
+      ++result.records_after_hole;
+      q += frame;
+    }
+    break;
+  }
   return result;
 }
 

@@ -48,6 +48,17 @@ class WalWriter {
   /// Durably flushes all appended records.
   [[nodiscard]] Status Sync();
 
+  /// Byte size of the log through the last frame this writer successfully
+  /// appended — the known-good boundary ResetTail() cuts back to.
+  uint64_t good_size() const { return good_size_; }
+
+  /// Cuts the file back to the last known-good record boundary, discarding
+  /// whatever a failed append left behind (a torn frame, or nothing). The
+  /// repair step between a transient append failure and its retry: without
+  /// it the retried record would land *after* the torn bytes and be
+  /// unreachable to the reader, which stops at the first bad frame.
+  [[nodiscard]] Status ResetTail();
+
   /// Group-commit accounting: how the record stream maps onto physical
   /// I/O. `appends` counts Env::Append calls (batching collapses these
   /// below `records`); `syncs` counts fsyncs. syncs/records is the
@@ -66,21 +77,58 @@ class WalWriter {
   Env* env_;
   std::string path_;
   Stats stats_;
+  uint64_t good_size_ = 0;
 };
+
+/// Why the reader stopped before the end of the file.
+enum class WalCorruptionCause {
+  kNone = 0,          ///< every byte parsed
+  kTornFileHeader,    ///< file shorter than the 9-byte WAL header
+  kTornRecordHeader,  ///< fewer than 16 frame-header bytes at the tail
+  kTornPayload,       ///< length field points past the end of the file
+  kChecksumMismatch,  ///< payload present but its FNV-1a disagrees
+};
+
+/// Stable lowercase name, e.g. "checksum-mismatch".
+std::string_view WalCorruptionCauseName(WalCorruptionCause cause);
 
 struct WalReadResult {
   /// Payloads of all intact records, in append order.
   std::vector<std::string> records;
+  /// Byte offset of each intact record's frame (parallel to `records`) —
+  /// lets fsck name the exact location of a semantically-bad record.
+  std::vector<uint64_t> record_offsets;
   /// True if trailing bytes (a torn record) were dropped.
   bool torn_tail = false;
   /// File size covered by the header plus the intact records.
   size_t valid_size = 0;
+
+  /// Why the first invalid record is invalid (kNone if the whole file
+  /// parsed). The fields below are meaningful only when this is not kNone.
+  WalCorruptionCause cause = WalCorruptionCause::kNone;
+  /// Byte offset of the first invalid record (== valid_size: the invalid
+  /// frame starts where the valid prefix ends).
+  uint64_t invalid_offset = 0;
+  /// Zero-based index the first invalid record would have had.
+  uint64_t invalid_record_index = 0;
+
+  /// Post-hole resync: frames that parse and checksum cleanly *after* the
+  /// first invalid record. Zero means the damage is a pure torn tail —
+  /// consistent with power loss, safe to truncate and continue. Nonzero
+  /// means mid-log corruption: intact committed records lie beyond the
+  /// hole, so truncating silently would drop acked commits; recovery must
+  /// refuse and send the operator to `ttra fsck`.
+  uint64_t records_after_hole = 0;
+  /// Byte offset of the first post-hole valid frame (0 when none).
+  uint64_t resync_offset = 0;
 };
 
 /// Reads every intact record of the log. Missing file → kIoError; header
 /// that is present-but-wrong → kCorruption; torn tail → reported, not an
 /// error (recovery truncates there, in line with the durability contract
-/// that unsynced bytes may vanish).
+/// that unsynced bytes may vanish). When the reader stops early it scans
+/// the remainder for re-synchronizing valid frames (records_after_hole),
+/// letting callers tell a torn tail from a mid-log hole.
 Result<WalReadResult> ReadWal(const Env& env, const std::string& path);
 
 }  // namespace ttra

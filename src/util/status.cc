@@ -28,6 +28,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "io-error";
     case ErrorCode::kUnavailable:
       return "unavailable";
+    case ErrorCode::kResourceExhausted:
+      return "resource-exhausted";
+    case ErrorCode::kReadOnly:
+      return "read-only";
   }
   return "unknown";
 }
@@ -76,6 +80,12 @@ Status IoError(std::string_view message) {
 }
 Status UnavailableError(std::string_view message) {
   return Status(ErrorCode::kUnavailable, std::string(message));
+}
+Status ResourceExhaustedError(std::string_view message) {
+  return Status(ErrorCode::kResourceExhausted, std::string(message));
+}
+Status ReadOnlyError(std::string_view message) {
+  return Status(ErrorCode::kReadOnly, std::string(message));
 }
 
 }  // namespace ttra

@@ -45,6 +45,14 @@ enum class ErrorCode {
   /// The component is in a failed state and refuses new work until it is
   /// recovered (e.g. a durable executor after a log-write failure).
   kUnavailable,
+  /// A storage resource is exhausted (disk full). Unlike kIoError this is
+  /// not transient: retrying cannot help until space is freed, so retry
+  /// policies treat it as a permanent failure.
+  kResourceExhausted,
+  /// The executor is in read-only degraded mode after a permanent write
+  /// failure: reads keep being served from the published state, writes
+  /// are rejected until the operator repairs storage and reopens.
+  kReadOnly,
 };
 
 /// Returns a stable lowercase name, e.g. "schema-mismatch".
@@ -96,6 +104,8 @@ Status InvalidArgumentError(std::string_view message);
 Status InternalError(std::string_view message);
 Status IoError(std::string_view message);
 Status UnavailableError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status ReadOnlyError(std::string_view message);
 
 }  // namespace ttra
 

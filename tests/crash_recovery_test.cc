@@ -310,6 +310,191 @@ TEST(CrashRecoveryTest, FailedExecutorRejectsWorkUntilReopened) {
                   .ok());
 }
 
+// --- Transient-error retry and read-only degraded mode ---------------------
+
+TEST(RetryTest, RetryRidesOutAOneShotWriteFault) {
+  FaultInjectionEnv env;
+  DurableOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.sleeper = [](std::chrono::microseconds) {};
+  DurableExecutor exec(&env, "d", options);
+  ASSERT_TRUE(exec.Open().ok());
+  env.InjectFault(1, FaultInjectionEnv::FaultMode::kFailOp);
+  // Without retry this exact schedule fails stop (see
+  // FailedExecutorRejectsWorkUntilReopened); with it the commit lands.
+  auto result = exec.Submit(Command(DefineRelationCmd{
+      "r", RelationType::kSnapshot, EmpSchema()}));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(exec.healthy());
+  const auto health = exec.health();
+  EXPECT_EQ(health.transient_retries, 1u);
+  EXPECT_EQ(health.retry_successes, 1u);
+  EXPECT_TRUE(health.last_write_error.ok());
+  // The log is intact: recovery replays the retried commit.
+  DurableExecutor recovered(&env, "d", DurableOptions{});
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(EncodeDatabase(recovered.Snapshot()), EncodeDatabase(exec.Snapshot()));
+}
+
+TEST(RetryTest, TornAppendIsCutBackBeforeTheRetry) {
+  FaultInjectionEnv env;
+  DurableOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.sleeper = [](std::chrono::microseconds) {};
+  DurableExecutor exec(&env, "d", options);
+  ASSERT_TRUE(exec.Open().ok());
+  env.InjectFault(1, FaultInjectionEnv::FaultMode::kTornAppend);
+  auto result = exec.Submit(Command(DefineRelationCmd{
+      "r", RelationType::kSnapshot, EmpSchema()}));
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The torn frame must NOT be in the log: ResetTail cut it before the
+  // re-append, so the file parses cleanly end to end.
+  auto wal = ReadWal(env, "d/wal.log");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_FALSE(wal->torn_tail);
+  EXPECT_EQ(wal->records.size(), 1u);
+}
+
+TEST(RetryTest, BackoffDoublesUpToTheCapOnPersistentFailure) {
+  FaultInjectionEnv env;
+  DurableOptions options;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff = std::chrono::microseconds(100);
+  options.retry.max_backoff = std::chrono::microseconds(300);
+  std::vector<std::chrono::microseconds> sleeps;
+  options.retry.sleeper = [&](std::chrono::microseconds d) {
+    sleeps.push_back(d);
+  };
+  DurableExecutor exec(&env, "d", options);
+  ASSERT_TRUE(exec.Open().ok());
+  FaultPlanOptions plan;
+  plan.transient_error_rate = 1.0;  // a "transient" fault that never heals
+  env.ArmPlan(1, plan);
+  auto result = exec.Submit(Command(DefineRelationCmd{
+      "r", RelationType::kSnapshot, EmpSchema()}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kIoError);
+  EXPECT_FALSE(exec.healthy());
+  EXPECT_EQ(exec.health().last_write_error.code(), ErrorCode::kIoError);
+  EXPECT_EQ(sleeps, (std::vector<std::chrono::microseconds>{
+                        std::chrono::microseconds(100),
+                        std::chrono::microseconds(200),
+                        std::chrono::microseconds(300)}));  // capped, not 400
+}
+
+TEST(RetryTest, ResourceExhaustionIsNotRetried) {
+  FaultInjectionEnv env;
+  DurableOptions options;
+  options.retry.max_attempts = 5;
+  // A sleeper that fails the test if it is ever consulted: disk-full must
+  // fail immediately, not burn retries that cannot succeed.
+  options.retry.sleeper = [](std::chrono::microseconds) {
+    FAIL() << "kResourceExhausted must not be retried";
+  };
+  DurableExecutor exec(&env, "d", options);
+  ASSERT_TRUE(exec.Open().ok());
+  FaultPlanOptions plan;
+  plan.capacity_bytes = 1;  // store already over quota: every append fails
+  env.ArmPlan(1, plan);
+  auto result = exec.Submit(Command(DefineRelationCmd{
+      "r", RelationType::kSnapshot, EmpSchema()}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(exec.healthy());
+  EXPECT_EQ(exec.health().transient_retries, 0u);
+}
+
+TEST(DegradedModeTest, ReadersKeepServingWhileWritesAreRefused) {
+  FaultInjectionEnv env;
+  ConcurrentOptions options;
+  ConcurrentExecutor exec(&env, "d", options);
+  ASSERT_TRUE(exec.Start().ok());
+  ASSERT_TRUE(exec.Submit(Command{DefineRelationCmd{
+                       "emp", RelationType::kRollback, EmpSchema()}})
+                  .ok());
+  ASSERT_TRUE(
+      exec.Submit(Command{ModifySnapshotCmd{"emp", EmpState({{"ed", 100}})}})
+          .ok());
+  Session before = exec.OpenSession();
+  const TransactionNumber epoch = before.epoch();
+  ASSERT_EQ(epoch, 2u);
+
+  // A permanent write failure flips the executor into read-only mode.
+  FaultPlanOptions plan;
+  plan.transient_error_rate = 1.0;
+  env.ArmPlan(1, plan);
+  auto failing =
+      exec.Submit(Command{ModifySnapshotCmd{"emp", EmpState({{"amy", 1}})}});
+  ASSERT_FALSE(failing.ok());
+  EXPECT_EQ(failing.status().code(), ErrorCode::kIoError);
+  EXPECT_TRUE(exec.degraded());
+  EXPECT_EQ(exec.degraded_reason().code(), ErrorCode::kIoError);
+
+  // New writes are refused with the DISTINCT read-only code — callers can
+  // tell "storage is broken" from "command was wrong" and "not running".
+  auto refused =
+      exec.Submit(Command{ModifySnapshotCmd{"emp", EmpState({{"bob", 2}})}});
+  EXPECT_EQ(refused.status().code(), ErrorCode::kReadOnly);
+  EXPECT_NE(refused.status().message().find("read-only"), std::string::npos);
+  EXPECT_GE(exec.stats().rejected_read_only, 1u);
+  EXPECT_TRUE(exec.stats().degraded);
+
+  // Reader sessions — both pre-existing and new — keep answering at the
+  // published epoch as if nothing happened.
+  auto pre = before.Rollback("emp", epoch);
+  ASSERT_TRUE(pre.ok()) << pre.status();
+  Session after = exec.OpenSession();
+  EXPECT_EQ(after.epoch(), epoch);  // the failed write published nothing
+  auto post = after.Rollback("emp");
+  ASSERT_TRUE(post.ok()) << post.status();
+  EXPECT_EQ(exec.transaction_number(), epoch);
+
+  // The documented way out: repair the fault, Stop() + Start().
+  env.DisarmPlan();
+  exec.Stop();
+  ASSERT_TRUE(exec.Start().ok());
+  EXPECT_FALSE(exec.degraded());
+  EXPECT_TRUE(
+      exec.Submit(Command{ModifySnapshotCmd{"emp", EmpState({{"amy", 1}})}})
+          .ok());
+}
+
+TEST(DegradedModeTest, QueuedSentencesAreDrainedWithReadOnly) {
+  // Sentences already in flight when the writer degrades must still get
+  // answers (no broken promises), with the read-only code.
+  FaultInjectionEnv env;
+  ConcurrentOptions options;
+  options.group_commit.max_batch = 1;  // one sentence per batch: the first
+                                       // fails, the rest hit degraded mode
+  ConcurrentExecutor exec(&env, "d", options);
+  ASSERT_TRUE(exec.Start().ok());
+  ASSERT_TRUE(exec.Submit(Command{DefineRelationCmd{
+                       "emp", RelationType::kRollback, EmpSchema()}})
+                  .ok());
+  FaultPlanOptions plan;
+  plan.transient_error_rate = 1.0;
+  env.ArmPlan(1, plan);
+
+  std::vector<std::future<Result<TransactionNumber>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<Command> sentence;
+    sentence.push_back(ModifySnapshotCmd{"emp", EmpState({{"x", i}})});
+    futures.push_back(exec.SubmitAsync(std::move(sentence)));
+  }
+  size_t io_failures = 0, read_only = 0;
+  for (auto& f : futures) {
+    const Status status = f.get().status();
+    if (status.code() == ErrorCode::kIoError) ++io_failures;
+    if (status.code() == ErrorCode::kReadOnly) ++read_only;
+  }
+  // Exactly one sentence observed the real fault; every other one was
+  // cleanly refused (queue-drain or at-the-door).
+  EXPECT_EQ(io_failures, 1u);
+  EXPECT_EQ(read_only, 7u);
+  ASSERT_TRUE(exec.Drain().ok());
+  EXPECT_EQ(exec.stats().rejected_read_only, 7u);
+}
+
 TEST(CrashRecoveryTest, TornTailIsReportedByRecovery) {
   InMemoryEnv env;
   DurableExecutor exec(&env, "d", DurableOptions{});

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rollback/concurrent_executor.h"
+#include "rollback/durable_executor.h"
+#include "rollback/persistence.h"
+#include "storage/env.h"
+#include "storage/salvage.h"
+#include "util/random.h"
+
+namespace ttra {
+namespace {
+
+// Fault-schedule torture oracle. Each seed derives a probabilistic fault
+// plan (transient-EIO bursts, torn appends, lying fsyncs, ENOSPC), runs a
+// sequential workload through the ConcurrentExecutor with retry enabled,
+// then crashes, optionally deals post-crash bit rot, salvages with the
+// same validators `ttra fsck` uses, and recovers. The invariants checked
+// on EVERY seed:
+//
+//  * an acknowledged commit extends the transaction chain by exactly one
+//    (gap-free), and — absent lying fsyncs and post-crash rot — survives
+//    recovery (durable-or-cleanly-failed);
+//  * after the first permanent failure every later submit is refused with
+//    the distinct kReadOnly code while reader sessions keep answering
+//    ρ(·, epoch) at their pinned epoch;
+//  * `fsck --repair` turns every corrupted schedule into a successful
+//    recovery, and the recovered state is some exact prefix of the
+//    committed sentence sequence — never a torn or reordered one.
+//
+// Seed count: TTRA_FAULT_SEEDS (CI's faults job sets 200); default 25.
+
+size_t SeedCount() {
+  const char* setting = std::getenv("TTRA_FAULT_SEEDS");
+  if (setting == nullptr) return 25;
+  const long parsed = std::strtol(setting, nullptr, 10);
+  return parsed > 0 ? static_cast<size_t>(parsed) : 25;
+}
+
+Schema OneIntSchema() { return *Schema::Make({{"n", ValueType::kInt}}); }
+
+std::vector<Command> NthSentence(int i) {
+  std::vector<Tuple> rows;
+  for (int k = 0; k <= i % 5; ++k) {
+    rows.push_back(Tuple{Value::Int(i * 100 + k)});
+  }
+  std::vector<Command> sentence;
+  sentence.push_back(ModifySnapshotCmd{
+      "r", *SnapshotState::Make(OneIntSchema(), std::move(rows))});
+  return sentence;
+}
+
+FaultPlanOptions PlanForSeed(uint64_t seed, Rng& rng) {
+  FaultPlanOptions plan;
+  plan.transient_error_rate = 0.25 * rng.UniformDouble();
+  plan.max_transient_burst = 1 + static_cast<uint32_t>(rng.Uniform(3));
+  plan.torn_append_rate = 0.15 * rng.UniformDouble();
+  // Every third seed: firmware that acknowledges fsyncs it never performs.
+  plan.lying_sync_rate = (seed % 3 == 0) ? 0.25 * rng.UniformDouble() : 0.0;
+  // Every fourth seed: a store small enough to fill mid-run (ENOSPC).
+  plan.capacity_bytes = (seed % 4 == 0) ? 2000 + rng.Uniform(6000) : 0;
+  return plan;
+}
+
+/// The CLI's fsck configuration: semantic validation via rollback decoders.
+SalvageOptions FsckOptions() {
+  SalvageOptions options;
+  options.validate_record = [](std::string_view payload) {
+    return DecodeWalRecord(payload).status();
+  };
+  options.validate_checkpoint = [](std::string_view data) {
+    return DecodeDatabase(data).status();
+  };
+  return options;
+}
+
+void RunSeed(uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  Rng rng(seed);
+
+  // The workload and its oracle: canonical state after each prefix.
+  std::vector<std::vector<Command>> sentences;
+  {
+    std::vector<Command> define;
+    define.push_back(
+        DefineRelationCmd{"r", RelationType::kRollback, OneIntSchema()});
+    sentences.push_back(std::move(define));
+  }
+  for (int i = 0; i < 30; ++i) sentences.push_back(NthSentence(i));
+  std::vector<std::string> prefix_states;
+  {
+    Database db{DatabaseOptions{}};
+    prefix_states.push_back(EncodeDatabase(db));
+    for (const auto& sentence : sentences) {
+      ASSERT_TRUE(ApplySentence(db, sentence).ok());
+      prefix_states.push_back(EncodeDatabase(db));
+    }
+  }
+
+  FaultInjectionEnv env;
+  ConcurrentOptions options;
+  options.durable.retry.max_attempts = 1 + rng.Uniform(4);  // 1..4
+  options.durable.retry.initial_backoff = std::chrono::microseconds(1);
+  options.durable.retry.max_backoff = std::chrono::microseconds(8);
+  size_t sleeper_calls = 0;  // fake clock: no wall-clock sleeps in tests
+  options.durable.retry.sleeper = [&sleeper_calls](std::chrono::microseconds) {
+    ++sleeper_calls;
+  };
+  options.group_commit.max_latency = std::chrono::microseconds(0);
+
+  ConcurrentExecutor exec(&env, "t", options);
+  ASSERT_TRUE(exec.Start().ok());
+  env.ArmPlan(seed * 0x9e3779b97f4a7c15ULL + 1, PlanForSeed(seed, rng));
+
+  // --- Live phase: sequential submits, acked-or-cleanly-failed ----------
+  size_t acked = 0;
+  size_t refused = 0;
+  bool failed = false;
+  TransactionNumber last_txn = 0;
+  for (const auto& sentence : sentences) {
+    Result<TransactionNumber> result = exec.Submit(sentence);
+    if (result.ok()) {
+      ASSERT_FALSE(failed) << "write accepted after the executor degraded";
+      ASSERT_EQ(*result, last_txn + 1) << "transaction chain has a gap";
+      last_txn = *result;
+      ++acked;
+    } else if (!failed) {
+      failed = true;
+      // The sentence that hit the permanent fault carries the real cause.
+      EXPECT_TRUE(result.status().code() == ErrorCode::kIoError ||
+                  result.status().code() == ErrorCode::kResourceExhausted)
+          << result.status();
+    } else {
+      // Everyone after it gets the distinct read-only refusal.
+      ++refused;
+      EXPECT_EQ(result.status().code(), ErrorCode::kReadOnly)
+          << result.status();
+    }
+  }
+
+  const auto stats = exec.stats();
+  EXPECT_EQ(stats.health.transient_retries, sleeper_calls)
+      << "every retry must go through the injected (fake) clock";
+  EXPECT_LE(stats.health.retry_successes, stats.health.transient_retries);
+  EXPECT_EQ(exec.degraded(), failed);
+
+  if (failed) {
+    EXPECT_FALSE(exec.degraded_reason().ok());
+    // Every post-failure submit — and nothing else — got the refusal. When
+    // the permanent fault lands on the very last sentence this is zero.
+    EXPECT_EQ(stats.rejected_read_only, refused);
+    // Degraded mode is read-only, not down: sessions opened NOW still
+    // answer ρ(·, epoch) at the last published epoch.
+    Session session = exec.OpenSession();
+    EXPECT_EQ(session.epoch(), last_txn);
+    EXPECT_EQ(EncodeDatabase(session.database()), prefix_states[acked]);
+    if (acked >= 1) {
+      auto rollback = session.Rollback("r", session.epoch());
+      EXPECT_TRUE(rollback.ok()) << rollback.status();
+      EXPECT_EQ(session.Rollback("r", session.epoch() + 1).status().code(),
+                ErrorCode::kInvalidRollback);
+    }
+  }
+
+  // --- Crash, rot, salvage, recover -------------------------------------
+  const auto plan_stats = env.plan_stats();
+  exec.Stop();
+  env.Crash();
+
+  // Odd seeds: bit rot strikes the surviving WAL body after the crash —
+  // the schedule `fsck --repair` exists for.
+  bool rotted = false;
+  if (seed % 2 == 1 && env.Exists("t/wal.log")) {
+    std::string image = *env.Read("t/wal.log");
+    if (image.size() > 9) {
+      const uint64_t at = 9 + rng.Uniform(image.size() - 9);
+      image[at] ^= static_cast<char>(1u << rng.Uniform(8));
+      ASSERT_TRUE(env.Truncate("t/wal.log").ok());
+      ASSERT_TRUE(env.Append("t/wal.log", image).ok());
+      ASSERT_TRUE(env.Sync("t/wal.log").ok());
+      rotted = true;
+    }
+  }
+
+  auto scan = ScanStorage(&env, "t", FsckOptions());
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_NE(scan->verdict, SalvageVerdict::kUnrecoverable)
+      << "the checkpoint is never written under the fault plan";
+  if (scan->verdict == SalvageVerdict::kNeedsRepair) {
+    auto repaired = RepairStorage(&env, "t", FsckOptions());
+    ASSERT_TRUE(repaired.ok()) << repaired.status();
+    EXPECT_TRUE(repaired->repaired);
+    EXPECT_TRUE(env.Exists("t/wal.log.quarantine"));
+  }
+
+  // After (at most) one repair, recovery must succeed...
+  DurableExecutor recovered(&env, "t", DurableOptions{});
+  ASSERT_TRUE(recovered.Open().ok());
+
+  // ...to an exact prefix of the committed sentence sequence.
+  const std::string state = EncodeDatabase(recovered.Snapshot());
+  size_t matched = prefix_states.size();
+  for (size_t k = prefix_states.size(); k-- > 0;) {
+    if (state == prefix_states[k]) {
+      matched = k;
+      break;
+    }
+  }
+  ASSERT_LT(matched, prefix_states.size())
+      << "recovered state matches no prefix (torn or reordered replay)";
+  EXPECT_LE(matched, acked) << "recovery invented unacknowledged commits";
+  // Durable-or-cleanly-failed: unless an fsync lied or rot destroyed
+  // records after the fact, every acked commit survives.
+  if (plan_stats.lying_syncs == 0 && !rotted) {
+    EXPECT_GE(matched, acked) << "recovery lost an acknowledged commit";
+  }
+
+  // The salvaged directory is healthy and writable again.
+  auto rescan = ScanStorage(&env, "t", FsckOptions());
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan->verdict, SalvageVerdict::kClean);
+  // If even the define was lost, re-run it; either way new writes work.
+  auto resumed = recovered.Submit(matched >= 1 ? NthSentence(99)
+                                               : sentences[0]);
+  EXPECT_TRUE(resumed.ok()) << resumed.status();
+}
+
+TEST(FaultTortureTest, SeededScheduleSweep) {
+  const size_t seeds = SeedCount();
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    RunSeed(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace ttra

@@ -22,7 +22,8 @@ TEST(DiagnosticCodes, EveryErrorCodeHasARegistryEntry) {
         ErrorCode::kSchemaMismatch, ErrorCode::kTypeMismatch,
         ErrorCode::kInvalidRollback, ErrorCode::kParseError,
         ErrorCode::kCorruption, ErrorCode::kInvalidArgument,
-        ErrorCode::kInternal, ErrorCode::kIoError, ErrorCode::kUnavailable}) {
+        ErrorCode::kInternal, ErrorCode::kIoError, ErrorCode::kUnavailable,
+        ErrorCode::kResourceExhausted, ErrorCode::kReadOnly}) {
     const std::string_view diag_code = DiagnosticCodeForError(code);
     EXPECT_TRUE(diag_code.rfind("TTRA-E0", 0) == 0) << diag_code;
     EXPECT_FALSE(DiagnosticCodeSummary(diag_code).empty()) << diag_code;

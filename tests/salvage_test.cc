@@ -1,0 +1,314 @@
+#include "storage/salvage.h"
+
+#include <gtest/gtest.h>
+
+#include "rollback/durable_executor.h"
+#include "rollback/persistence.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+
+namespace ttra {
+namespace {
+
+// ScanStorage/RepairStorage behind `ttra fsck`: the scan classifies the
+// damage (exit codes 0/1/3/4), repair quarantines the damaged bytes and
+// truncates the WAL to its last valid prefix so recovery succeeds.
+
+constexpr size_t kWalHeaderSize = 9;
+
+/// Builds "<dir>/wal.log" holding `payloads`; returns the image bytes.
+std::string MakeWal(Env* env, const std::string& dir,
+                    const std::vector<std::string>& payloads) {
+  WalWriter writer(env, dir + "/wal.log");
+  EXPECT_TRUE(writer.Create().ok());
+  for (const std::string& p : payloads) {
+    EXPECT_TRUE(writer.AddRecord(p).ok());
+  }
+  EXPECT_TRUE(writer.Sync().ok());
+  return *env->Read(dir + "/wal.log");
+}
+
+/// Replaces a file's content wholesale (InMemoryEnv has no overwrite op).
+void Overwrite(Env* env, const std::string& path, const std::string& data) {
+  ASSERT_TRUE(env->Truncate(path).ok());
+  ASSERT_TRUE(env->Append(path, data).ok());
+  ASSERT_TRUE(env->Sync(path).ok());
+}
+
+TEST(SalvageScanTest, CleanDirectoryIsClean) {
+  InMemoryEnv env;
+  MakeWal(&env, "d", {"r0", "r1"});
+  auto report = ScanStorage(&env, "d");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->verdict, SalvageVerdict::kClean);
+  EXPECT_TRUE(report->findings.empty());
+  EXPECT_TRUE(report->wal_present);
+  EXPECT_FALSE(report->checkpoint_present);
+  EXPECT_EQ(report->wal_valid_records, 2u);
+  EXPECT_EQ(report->wal_valid_size, report->wal_size);
+  EXPECT_EQ(SalvageExitCode(*report), 0);
+}
+
+TEST(SalvageScanTest, EmptyDirectoryIsClean) {
+  InMemoryEnv env;
+  auto report = ScanStorage(&env, "d");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->verdict, SalvageVerdict::kClean);
+  EXPECT_FALSE(report->wal_present);
+  EXPECT_EQ(SalvageExitCode(*report), 0);
+}
+
+TEST(SalvageScanTest, TornTailIsExitCodeOne) {
+  InMemoryEnv env;
+  const std::string image = MakeWal(&env, "d", {"r0", "r1"});
+  Overwrite(&env, "d/wal.log", image.substr(0, image.size() - 3));
+  auto report = ScanStorage(&env, "d");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->verdict, SalvageVerdict::kTruncatedTail);
+  EXPECT_EQ(report->wal_valid_records, 1u);
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].file, "d/wal.log");
+  EXPECT_EQ(report->findings[0].offset, report->wal_valid_size);
+  EXPECT_EQ(SalvageExitCode(*report), 1);
+}
+
+TEST(SalvageScanTest, MidLogHoleNeedsRepair) {
+  InMemoryEnv env;
+  std::string image = MakeWal(&env, "d", {"r0", "r1", "r2"});
+  // Flip one payload bit of r1: checksum mismatch with r2 intact behind.
+  const size_t r1_end = MakeWal(&env, "scratch", {"r0", "r1"}).size();
+  image[r1_end - 1] ^= 0x01;
+  Overwrite(&env, "d/wal.log", image);
+
+  auto report = ScanStorage(&env, "d");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->verdict, SalvageVerdict::kNeedsRepair);
+  EXPECT_EQ(report->wal_valid_records, 1u);
+  EXPECT_EQ(report->wal_records_after_hole, 1u);
+  EXPECT_EQ(SalvageExitCode(*report), 3);
+  // Two findings: the damaged record, and the stranded survivors.
+  ASSERT_EQ(report->findings.size(), 2u);
+  EXPECT_EQ(report->findings[0].cause, "checksum-mismatch");
+  EXPECT_EQ(report->findings[1].cause, "stranded-records");
+}
+
+TEST(SalvageRepairTest, QuarantinesTheTailAndTruncatesToTheValidPrefix) {
+  InMemoryEnv env;
+  std::string image = MakeWal(&env, "d", {"r0", "r1", "r2"});
+  const size_t valid = MakeWal(&env, "scratch", {"r0"}).size();
+  image[valid + 3] ^= 0x40;  // corrupt r1's frame header
+  Overwrite(&env, "d/wal.log", image);
+
+  auto report = RepairStorage(&env, "d");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->repaired);
+  EXPECT_EQ(report->quarantine_path, "d/wal.log.quarantine");
+  EXPECT_EQ(report->quarantined_bytes, image.size() - valid);
+  // Nothing was deleted: quarantine holds the exact damaged bytes.
+  EXPECT_EQ(*env.Read("d/wal.log.quarantine"), image.substr(valid));
+  // The WAL is now the exact valid prefix, and reads back clean.
+  EXPECT_EQ(*env.Read("d/wal.log"), image.substr(0, valid));
+  auto read = ReadWal(env, "d/wal.log");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records, std::vector<std::string>{"r0"});
+  EXPECT_FALSE(read->torn_tail);
+  // A re-scan agrees the directory is healthy again.
+  auto rescan = ScanStorage(&env, "d");
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan->verdict, SalvageVerdict::kClean);
+}
+
+TEST(SalvageRepairTest, CleanDirectoryIsLeftUntouched) {
+  InMemoryEnv env;
+  const std::string image = MakeWal(&env, "d", {"r0"});
+  auto report = RepairStorage(&env, "d");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->repaired);
+  EXPECT_EQ(SalvageExitCode(*report), 0);
+  EXPECT_EQ(*env.Read("d/wal.log"), image);
+  EXPECT_FALSE(env.Exists("d/wal.log.quarantine"));
+}
+
+TEST(SalvageRepairTest, DamagedHeaderQuarantinesTheWholeFile) {
+  InMemoryEnv env;
+  const std::string garbage = "this is definitely not a wal file";
+  Overwrite(&env, "d/wal.log", garbage);
+  auto scan = ScanStorage(&env, "d");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->verdict, SalvageVerdict::kNeedsRepair);
+  ASSERT_FALSE(scan->findings.empty());
+  EXPECT_EQ(scan->findings[0].cause, "bad-header");
+
+  auto report = RepairStorage(&env, "d");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->repaired);
+  EXPECT_EQ(*env.Read("d/wal.log.quarantine"), garbage);
+  // The replacement is a fresh, durably-empty, readable log.
+  auto read = ReadWal(env, "d/wal.log");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_FALSE(read->torn_tail);
+}
+
+TEST(SalvageScanTest, InvalidCheckpointIsUnrecoverable) {
+  InMemoryEnv env;
+  MakeWal(&env, "d", {"r0"});
+  Overwrite(&env, "d/checkpoint.db", "not a checkpoint");
+  SalvageOptions options;
+  options.validate_checkpoint = [](std::string_view data) {
+    return DecodeDatabase(data).status();
+  };
+  auto report = ScanStorage(&env, "d", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->verdict, SalvageVerdict::kUnrecoverable);
+  EXPECT_TRUE(report->checkpoint_present);
+  EXPECT_FALSE(report->checkpoint_valid);
+  EXPECT_EQ(SalvageExitCode(*report), 4);
+  // Repair will not fabricate a base state: nothing is touched.
+  auto repair = RepairStorage(&env, "d", options);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_FALSE(repair->repaired);
+  EXPECT_FALSE(env.Exists("d/wal.log.quarantine"));
+}
+
+TEST(SalvageScanTest, SemanticValidatorCutsAtChecksummedGarbage) {
+  // A record can checksum perfectly and still be garbage (a misdirected
+  // but well-framed write). Only the injected semantic validator can tell.
+  InMemoryEnv env;
+  MakeWal(&env, "d", {"good-0", "BAD", "good-2"});
+  SalvageOptions options;
+  options.validate_record = [](std::string_view payload) {
+    return payload == "BAD" ? CorruptionError("not a command record")
+                            : Status::Ok();
+  };
+  auto report = ScanStorage(&env, "d", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->verdict, SalvageVerdict::kNeedsRepair);
+  EXPECT_EQ(report->wal_valid_records, 1u);
+  EXPECT_EQ(report->wal_records_after_hole, 1u);
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].cause, "invalid-record");
+  const size_t good0_size = MakeWal(&env, "scratch", {"good-0"}).size();
+  EXPECT_EQ(report->findings[0].offset, good0_size);
+  EXPECT_EQ(report->wal_valid_size, good0_size);
+
+  auto repaired = RepairStorage(&env, "d", options);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired->repaired);
+  auto read = ReadWal(env, "d/wal.log");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records, std::vector<std::string>{"good-0"});
+}
+
+TEST(SalvageReportTest, JsonCarriesVerdictExitCodeAndFindings) {
+  InMemoryEnv env;
+  std::string image = MakeWal(&env, "d", {"r0", "r1", "r2"});
+  const size_t r1_end = MakeWal(&env, "scratch", {"r0", "r1"}).size();
+  image[r1_end - 1] ^= 0x01;
+  Overwrite(&env, "d/wal.log", image);
+  auto report = ScanStorage(&env, "d");
+  ASSERT_TRUE(report.ok());
+
+  const std::string json = SalvageReportToJson(*report);
+  EXPECT_NE(json.find("\"verdict\": \"needs-repair\""), std::string::npos);
+  EXPECT_NE(json.find("\"exitCode\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"cause\": \"checksum-mismatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"cause\": \"stranded-records\""), std::string::npos);
+  EXPECT_NE(json.find("\"walRecordsAfterHole\": 1"), std::string::npos);
+
+  const std::string human = FormatSalvageReport(*report);
+  EXPECT_NE(human.find("verdict: needs-repair"), std::string::npos);
+  EXPECT_NE(human.find("stranded"), std::string::npos);
+}
+
+TEST(SalvageReportTest, VerdictNamesAreStable) {
+  EXPECT_EQ(SalvageVerdictName(SalvageVerdict::kClean), "clean");
+  EXPECT_EQ(SalvageVerdictName(SalvageVerdict::kTruncatedTail),
+            "truncated-tail");
+  EXPECT_EQ(SalvageVerdictName(SalvageVerdict::kNeedsRepair), "needs-repair");
+  EXPECT_EQ(SalvageVerdictName(SalvageVerdict::kUnrecoverable),
+            "unrecoverable");
+}
+
+// --- End to end with the executor ------------------------------------------
+
+Schema OneIntSchema() {
+  return *Schema::Make({{"n", ValueType::kInt}});
+}
+
+std::vector<Command> NthSentence(int i) {
+  std::vector<Tuple> rows;
+  for (int k = 0; k <= i; ++k) rows.push_back(Tuple{Value::Int(k)});
+  std::vector<Command> sentence;
+  sentence.push_back(ModifySnapshotCmd{
+      "r", *SnapshotState::Make(OneIntSchema(), std::move(rows))});
+  return sentence;
+}
+
+/// The CLI's configuration: semantic validation via the rollback decoders.
+SalvageOptions ExecutorSalvageOptions() {
+  SalvageOptions options;
+  options.validate_record = [](std::string_view payload) {
+    return DecodeWalRecord(payload).status();
+  };
+  options.validate_checkpoint = [](std::string_view data) {
+    return DecodeDatabase(data).status();
+  };
+  return options;
+}
+
+TEST(SalvageEndToEndTest, RepairTurnsARefusedRecoveryIntoASuccessfulOne) {
+  InMemoryEnv env;
+  {
+    DurableExecutor exec(&env, "d", DurableOptions{});
+    ASSERT_TRUE(exec.Open().ok());
+    ASSERT_TRUE(exec.Submit(Command(DefineRelationCmd{
+                         "r", RelationType::kRollback, OneIntSchema()}))
+                    .ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(exec.Submit(NthSentence(i)).ok());
+    }
+  }
+  // Bit rot strikes the middle of the WAL (inside record #2's payload,
+  // well clear of the records around it).
+  std::string image = *env.Read("d/wal.log");
+  auto intact = ReadWal(env, "d/wal.log");
+  ASSERT_TRUE(intact.ok());
+  ASSERT_EQ(intact->records.size(), 5u);
+  image[intact->record_offsets[2] + 20] ^= 0x02;
+  Overwrite(&env, "d/wal.log", image);
+
+  // Recovery refuses: intact acked commits lie beyond the hole, and
+  // silently truncating would drop them.
+  {
+    DurableExecutor exec(&env, "d", DurableOptions{});
+    Status refused = exec.Open();
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.code(), ErrorCode::kCorruption);
+    EXPECT_NE(refused.message().find("fsck"), std::string::npos)
+        << "refusal must point the operator at the repair tool: "
+        << refused.message();
+  }
+
+  auto report = RepairStorage(&env, "d", ExecutorSalvageOptions());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->repaired);
+  EXPECT_EQ(SalvageExitCode(*report), 1);
+
+  // After repair, recovery succeeds on the salvaged prefix: the records
+  // before the hole.
+  DurableExecutor exec(&env, "d", DurableOptions{});
+  ASSERT_TRUE(exec.Open().ok());
+  Database expected(DatabaseOptions{});
+  ASSERT_TRUE(ApplySentence(expected,
+                            {Command(DefineRelationCmd{
+                                "r", RelationType::kRollback, OneIntSchema()})})
+                  .ok());
+  ASSERT_TRUE(ApplySentence(expected, NthSentence(0)).ok());
+  EXPECT_EQ(EncodeDatabase(exec.Snapshot()), EncodeDatabase(expected));
+  // And the repaired executor accepts new writes.
+  EXPECT_TRUE(exec.Submit(NthSentence(5)).ok());
+}
+
+}  // namespace
+}  // namespace ttra

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
 #include "lang/evaluator.h"
+#include "rollback/durable_executor.h"
+#include "rollback/persistence.h"
 #include "rollback/vacuum.h"
+#include "storage/env.h"
+#include "storage/salvage.h"
+#include "storage/wal.h"
 #include "workload/generator.h"
 
 namespace ttra {
@@ -134,6 +139,76 @@ TEST(VacuumTest, PreservesSchemeHistory) {
   EXPECT_EQ(db->Rollback("r")->size(), 1u);
   ASSERT_TRUE(AttachArchive(*db, "r", result->archive).ok());
   EXPECT_EQ(db->Rollback("r", 2)->schema().size(), 1u);
+}
+
+TEST(VacuumTest, CompactsTheSalvagedPrefixOfAnFsckRepairedWal) {
+  // A WAL is damaged mid-log, `fsck --repair` cuts it back to the valid
+  // prefix, recovery succeeds — and vacuuming the recovered database must
+  // operate on EXACTLY the salvaged prefix: archive + online answers
+  // together reproduce it, with no trace of the quarantined commits.
+  InMemoryEnv env;
+  Schema schema = *Schema::Make({{"n", ValueType::kInt}});
+  auto nth_state = [&](int i) {
+    std::vector<Tuple> rows;
+    for (int k = 0; k <= i; ++k) rows.push_back(Tuple{Value::Int(k)});
+    return *SnapshotState::Make(schema, std::move(rows));
+  };
+  {
+    DurableExecutor exec(&env, "d", DurableOptions{});
+    ASSERT_TRUE(exec.Open().ok());
+    ASSERT_TRUE(exec.Submit(Command(DefineRelationCmd{
+                         "log", RelationType::kRollback, schema}))
+                    .ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          exec.Submit(Command(ModifySnapshotCmd{"log", nth_state(i)})).ok());
+    }
+  }
+
+  // Bit rot inside record #4's payload: the salvaged prefix is records
+  // 0..3 (define + three states); records #5, #6 end up quarantined.
+  std::string image = *env.Read("d/wal.log");
+  auto intact = ReadWal(env, "d/wal.log");
+  ASSERT_TRUE(intact.ok());
+  ASSERT_EQ(intact->records.size(), 7u);
+  image[intact->record_offsets[4] + 20] ^= 0x08;
+  ASSERT_TRUE(env.Truncate("d/wal.log").ok());
+  ASSERT_TRUE(env.Append("d/wal.log", image).ok());
+  ASSERT_TRUE(env.Sync("d/wal.log").ok());
+
+  SalvageOptions fsck;
+  fsck.validate_record = [](std::string_view payload) {
+    return DecodeWalRecord(payload).status();
+  };
+  fsck.validate_checkpoint = [](std::string_view data) {
+    return DecodeDatabase(data).status();
+  };
+  auto repaired = RepairStorage(&env, "d", fsck);
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  ASSERT_TRUE(repaired->repaired);
+
+  DurableExecutor recovered(&env, "d", DurableOptions{});
+  ASSERT_TRUE(recovered.Open().ok());
+  Database db = recovered.Snapshot();
+  ASSERT_EQ(db.transaction_number(), 4u);  // define + states 0..2
+  Database salvaged = db.Clone();
+
+  // Vacuum the middle of the salvaged history, then re-attach: every
+  // rollback answer of the salvaged prefix survives the round trip.
+  auto result = VacuumRelation(db, "log", /*before_txn=*/4);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->archived_states, 2u);  // txns 2 and 3
+  // Post-vacuum, the online relation holds exactly the prefix's tail...
+  EXPECT_EQ(*db.Rollback("log"), *salvaged.Rollback("log"));
+  EXPECT_TRUE(db.Rollback("log", 3)->empty());
+  // ...and nothing from beyond the hole leaked in: the latest state is
+  // still nth_state(2), not the quarantined nth_state(5).
+  EXPECT_EQ(db.Rollback("log")->size(), 3u);
+  ASSERT_TRUE(AttachArchive(db, "log", result->archive).ok());
+  for (TransactionNumber txn = 0; txn <= 4; ++txn) {
+    EXPECT_EQ(*db.Rollback("log", txn), *salvaged.Rollback("log", txn))
+        << "txn " << txn;
+  }
 }
 
 class VacuumPropertyTest : public ::testing::TestWithParam<uint64_t> {};

@@ -10,6 +10,8 @@
 #   tools/check.sh --tsan     # ThreadSanitizer pass only (race gate)
 #   tools/check.sh --stress   # stress-labeled suites (concurrency oracle,
 #                             # crash sweeps) with extra randomized seeds
+#   tools/check.sh --faults   # fault-schedule torture oracle (label
+#                             # `faults`) with a deep seed sweep
 #   tools/check.sh --tidy     # clang-tidy + thread-safety analysis
 #                             # (skips whichever clang tool is missing)
 #
@@ -25,15 +27,17 @@ do_asan=0
 do_tsan=0
 do_tidy=0
 do_stress=0
+do_faults=0
 do_bench=0
 case "${1:-}" in
-  "")      do_normal=1 do_asan=1 do_tsan=1 do_tidy=1 do_stress=1 do_bench=1 ;;
+  "")      do_normal=1 do_asan=1 do_tsan=1 do_tidy=1 do_stress=1 do_faults=1 do_bench=1 ;;
   --fast)  do_normal=1 ;;
   --asan)  do_asan=1 ;;
   --tsan)  do_tsan=1 ;;
   --tidy)  do_tidy=1 ;;
   --stress) do_stress=1 ;;
-  *) echo "usage: tools/check.sh [--fast|--asan|--tsan|--stress|--tidy]" >&2; exit 2 ;;
+  --faults) do_faults=1 ;;
+  *) echo "usage: tools/check.sh [--fast|--asan|--tsan|--stress|--faults|--tidy]" >&2; exit 2 ;;
 esac
 
 # run_pass <build-dir> <ctest-label|-> [cmake args...]; "-" runs every
@@ -119,6 +123,17 @@ if [ "$do_stress" -eq 1 ]; then
   # concurrency oracle reads TTRA_ORACLE_SEEDS when it runs).
   TTRA_ORACLE_SEEDS="${TTRA_ORACLE_SEEDS:-200}" \
   run_pass build stress
+fi
+
+if [ "$do_faults" -eq 1 ]; then
+  # Fault gate: the seeded fault-schedule torture oracle (label `faults`)
+  # over a deep sweep. Every seed derives a schedule of transient-EIO
+  # bursts, torn appends, lying fsyncs and ENOSPC; the oracle requires
+  # every acked commit durable-or-cleanly-failed, a gap-free transaction
+  # chain, working degraded-mode reads, and that fsck --repair turns every
+  # corrupted schedule into a successful recovery.
+  TTRA_FAULT_SEEDS="${TTRA_FAULT_SEEDS:-200}" \
+  run_pass build faults
 fi
 
 if [ "$do_bench" -eq 1 ]; then

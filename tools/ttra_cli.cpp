@@ -8,6 +8,7 @@
 //   ttra vacuum --db <file> --relation <name> --before <txn>
 //               [--archive <file>] [--save <file>]
 //   ttra recover --wal-dir <dir> [--save <file>]
+//   ttra fsck --wal-dir <dir> [--json] [--repair]
 //
 // `check` runs the static diagnostics engine without executing anything:
 // every error and warning in the script is reported with its source span
@@ -28,7 +29,13 @@
 // that was reported committed. --fresh discards any previous state in the
 // directory first; --recover prints a recovery report before running.
 // `recover` just recovers, reports, and (with --save) exports a plain
-// database file.
+// database file. It refuses mid-log corruption (intact records stranded
+// beyond a damaged one) instead of silently replaying a hole; `fsck`
+// inspects the checkpoint + WAL, and with --repair quarantines damaged
+// bytes to <wal>.quarantine and truncates to the last valid prefix so
+// recover succeeds. Both share a documented exit-code table (see
+// `ttra fsck --help`): 0 clean, 1 torn-tail/repaired, 3 needs-repair,
+// 4 unrecoverable, 2 usage.
 //
 // With --group-commit (or --sessions), `run` goes through the concurrent
 // executor instead: updates are enqueued to the writer thread and
@@ -58,6 +65,7 @@
 #include "rollback/persistence.h"
 #include "rollback/vacuum.h"
 #include "storage/env.h"
+#include "storage/salvage.h"
 
 namespace {
 
@@ -80,6 +88,7 @@ struct Flags {
   bool json = false;
   bool werror = false;
   bool help = false;
+  bool repair = false;
 };
 
 bool ParseFlags(int argc, char** argv, Flags& flags) {
@@ -103,6 +112,8 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
       flags.werror = true;
     } else if (arg == "--help") {
       flags.help = true;
+    } else if (arg == "--repair") {
+      flags.repair = true;
     } else if (arg.rfind("--", 0) == 0) {
       if (i + 1 >= argc) {
         std::cerr << "ttra: flag " << arg << " needs a value\n";
@@ -550,18 +561,106 @@ int CmdVacuum(const Flags& flags) {
   return SaveIfRequested(*db, flags);
 }
 
+/// Salvage with full semantic validation: a WAL record must decode into
+/// logged sentences and the checkpoint must decode into a database, not
+/// merely pass their checksums.
+SalvageOptions MakeSalvageOptions() {
+  SalvageOptions options;
+  options.validate_record = [](std::string_view payload) {
+    auto decoded = DecodeWalRecord(payload);
+    return decoded.ok() ? Status::Ok() : decoded.status();
+  };
+  options.validate_checkpoint = [](std::string_view data) {
+    auto db = DecodeDatabase(data);
+    return db.ok() ? Status::Ok() : db.status();
+  };
+  return options;
+}
+
+int CmdFsckHelp() {
+  std::cout <<
+      "usage: ttra fsck --wal-dir <dir> [--json] [--repair]\n"
+      "\n"
+      "Scans the directory's checkpoint and write-ahead log: every frame\n"
+      "is checksum-verified and decoded, and each corrupt record is\n"
+      "reported with its byte offset and cause. Without --repair nothing\n"
+      "is modified. With --repair the damaged bytes are moved to\n"
+      "<wal>.quarantine and the log is truncated to its last valid prefix\n"
+      "so `ttra recover` succeeds; nothing is ever deleted.\n"
+      "\n"
+      "flags:\n"
+      "  --json    machine-readable report\n"
+      "  --repair  quarantine damaged bytes and truncate the log\n"
+      "\n"
+      "exit codes (shared with `ttra recover`):\n"
+      "  0  clean: checkpoint and log fully intact\n"
+      "  1  torn tail only (or damage successfully repaired): recovery\n"
+      "     truncates and continues\n"
+      "  2  usage error or the directory cannot be read\n"
+      "  3  corruption needs repair: intact records are stranded beyond\n"
+      "     the damage (or the log header is damaged); rerun with --repair\n"
+      "  4  unrecoverable: the checkpoint itself is corrupt\n";
+  return 0;
+}
+
+int CmdFsck(const Flags& flags) {
+  if (flags.help) return CmdFsckHelp();
+  auto dir = flags.values.find("wal-dir");
+  if (dir == flags.values.end() || flags.positional.size() != 1) {
+    std::cerr << "ttra: usage: ttra fsck --wal-dir <dir> [--json] [--repair] "
+                 "(--help for details)\n";
+    return 2;
+  }
+  const SalvageOptions options = MakeSalvageOptions();
+  Result<SalvageReport> report =
+      flags.repair ? RepairStorage(Env::Default(), dir->second, options)
+                   : ScanStorage(Env::Default(), dir->second, options);
+  if (!report.ok()) {
+    std::cerr << "ttra: fsck failed: " << report.status().ToString() << "\n";
+    return 2;
+  }
+  std::cout << (flags.json ? SalvageReportToJson(*report)
+                           : FormatSalvageReport(*report));
+  return SalvageExitCode(*report);
+}
+
 int CmdRecover(const Flags& flags) {
   auto dir = flags.values.find("wal-dir");
   if (dir == flags.values.end() || flags.positional.size() != 1) {
-    return Fail("usage: ttra recover --wal-dir <dir> [--save f]");
+    std::cerr << "ttra: usage: ttra recover --wal-dir <dir> [--save f] "
+                 "(exit codes: see `ttra fsck --help`)\n";
+    return 2;
+  }
+  // Classify the damage before touching anything, so the exit code can
+  // distinguish clean (0) / recovered-with-truncated-tail (1) /
+  // needs-repair (3) / unrecoverable (4), mirroring fsck.
+  auto scanned = ScanStorage(Env::Default(), dir->second, MakeSalvageOptions());
+  if (!scanned.ok()) {
+    std::cerr << "ttra: cannot scan " << dir->second << ": "
+              << scanned.status().ToString() << "\n";
+    return 2;
+  }
+  if (scanned->verdict == SalvageVerdict::kNeedsRepair ||
+      scanned->verdict == SalvageVerdict::kUnrecoverable) {
+    std::cout << FormatSalvageReport(*scanned);
+    std::cerr << "ttra: refusing to recover ("
+              << SalvageVerdictName(scanned->verdict)
+              << "); run `ttra fsck --repair --wal-dir " << dir->second
+              << "`\n";
+    return SalvageExitCode(*scanned);
   }
   DurableExecutor exec(Env::Default(), dir->second);
   Status opened = exec.Open();
-  if (!opened.ok()) return Fail("recovery failed: " + opened.ToString());
+  if (!opened.ok()) {
+    std::cerr << "ttra: recovery failed: " << opened.ToString() << "\n";
+    return 4;
+  }
   ReportRecovery(exec);
   const Database db = exec.Snapshot();
   std::cout << lang::DescribeDatabase(db);
-  return SaveIfRequested(db, flags);
+  const int saved = SaveIfRequested(db, flags);
+  if (saved != 0) return saved;
+  return SalvageExitCode(*scanned);  // 0 clean, 1 truncated tail
 }
 
 }  // namespace
@@ -570,7 +669,7 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, flags)) return 1;
   if (flags.positional.empty()) {
-    return Fail("usage: ttra <run|check|describe|vacuum|recover> ...");
+    return Fail("usage: ttra <run|check|describe|vacuum|recover|fsck> ...");
   }
   const std::string& command = flags.positional[0];
   if (command == "run") return CmdRun(flags);
@@ -578,5 +677,6 @@ int main(int argc, char** argv) {
   if (command == "describe") return CmdDescribe(flags);
   if (command == "vacuum") return CmdVacuum(flags);
   if (command == "recover") return CmdRecover(flags);
+  if (command == "fsck") return CmdFsck(flags);
   return Fail("unknown command: " + command);
 }
